@@ -1,0 +1,55 @@
+"""Figure 5 — WIDEN training time vs data proportion on Yelp.
+
+The paper subsamples the Yelp graph at proportions {0.2, 0.4, 0.6, 0.8, 1.0}
+and reports training time growing ~linearly (0.61e3 s at 0.2 to 3.38e3 s at
+1.0 on their hardware).  We reproduce the protocol exactly — random node
+subsampling via ``HeteroGraph.subgraph`` — and assert approximate linearity
+via the R² of a linear fit and a bounded super-linearity ratio.
+"""
+
+import numpy as np
+
+from harness import full_mode, load_dataset
+from repro.core import WidenClassifier
+from repro.utils.rng import new_rng
+
+PROPORTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+PAPER_SECONDS = (610.0, 1290.0, 2020.0, 2730.0, 3380.0)  # read off Fig. 5
+EPOCHS = 3
+
+
+def _run():
+    dataset = load_dataset("yelp")
+    graph = dataset.graph
+    rng = new_rng(0)
+    seconds = []
+    for proportion in PROPORTIONS:
+        keep = rng.permutation(graph.num_nodes)[: int(proportion * graph.num_nodes)]
+        subgraph, mapping = graph.subgraph(keep)
+        labeled = np.flatnonzero(subgraph.labels >= 0)
+        model = WidenClassifier(seed=0)
+        model.fit(subgraph, labeled, epochs=EPOCHS)
+        seconds.append(float(np.sum(model.epoch_seconds)))
+    return seconds
+
+
+def test_fig5_scalability(benchmark):
+    seconds = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nFigure 5: WIDEN training time vs Yelp data proportion")
+    print(f"{'proportion':>12}{'measured s':>12}{'paper s':>10}")
+    for proportion, measured, paper in zip(PROPORTIONS, seconds, PAPER_SECONDS):
+        print(f"{proportion:>12.1f}{measured:>12.2f}{paper:>10.0f}")
+
+    x = np.asarray(PROPORTIONS)
+    y = np.asarray(seconds)
+    # Linear fit quality (the paper's "approximately linear" claim).
+    slope, intercept = np.polyfit(x, y, 1)
+    prediction = slope * x + intercept
+    ss_res = ((y - prediction) ** 2).sum()
+    ss_tot = ((y - y.mean()) ** 2).sum()
+    r_squared = 1.0 - ss_res / ss_tot
+    print(f"linear fit R^2 = {r_squared:.4f}")
+    assert r_squared > 0.9, f"training time not ~linear in data size (R²={r_squared:.3f})"
+    assert slope > 0, "training time must grow with data size"
+    # Bounded super-linearity: 5x data should cost < ~10x time.
+    assert y[-1] / max(y[0], 1e-9) < 10.0

@@ -1,0 +1,88 @@
+"""Figure 6 — hyperparameter sensitivity of WIDEN.
+
+Sweeps the four knobs the paper studies — latent dimension d, wide sample
+size N_w, deep walk length N_d, and the number of deep walks Φ — on the
+primary dataset, printing the micro-F1 series per knob.
+
+Shape checks (trends reported in Section 4.9):
+
+1. d: a mid/large dimension beats the smallest one.
+2. N_w: more wide neighbors beat a single neighbor.
+3. N_d: longer walks beat length-1 walks ("passing information from remotely
+   connected nodes is beneficial").
+4. Φ: more walks never catastrophically hurt (diminishing returns expected).
+"""
+
+import numpy as np
+
+from harness import full_mode, load_dataset
+from repro.core import WidenClassifier, WidenConfig
+from repro.eval import evaluate_transductive
+
+BASE = dict(dim=32, num_wide=10, num_deep=8, num_deep_walks=2,
+            learning_rate=1e-2, dropout=0.5)
+EPOCHS = 16
+SEEDS = (0, 1)
+
+SWEEPS = {
+    "dim": (8, 32, 64) ,
+    "num_wide": (1, 5, 10),
+    "num_deep": (1, 4, 8),
+    "num_deep_walks": (1, 2, 4),
+}
+FULL_SWEEPS = {
+    "dim": (16, 32, 64, 128, 256),
+    "num_wide": (1, 5, 10, 15, 20),
+    "num_deep": (1, 5, 10, 15, 20),
+    "num_deep_walks": (2, 4, 6, 8, 10),
+}
+
+
+def _run():
+    dataset = load_dataset("acm")
+    sweeps = FULL_SWEEPS if full_mode() else SWEEPS
+    results = {}
+    for knob, values in sweeps.items():
+        series = []
+        for value in values:
+            overrides = dict(BASE)
+            overrides[knob] = value
+            if knob == "dim":
+                pass
+            scores = [
+                evaluate_transductive(
+                    WidenClassifier(config=WidenConfig(**overrides), seed=seed),
+                    dataset,
+                    epochs=EPOCHS,
+                    seed=seed,
+                )
+                for seed in SEEDS
+            ]
+            series.append(float(np.mean(scores)))
+        results[knob] = (values, series)
+    return results
+
+
+def test_fig6_hyperparameter_sensitivity(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nFigure 6: hyperparameter sensitivity (ACM, mean of 2 seeds)")
+    for knob, (values, series) in results.items():
+        row = "  ".join(f"{v}:{s:.3f}" for v, s in zip(values, series))
+        print(f"  {knob:<16}{row}")
+
+    dims, dim_scores = results["dim"]
+    assert max(dim_scores[1:]) >= dim_scores[0] - 0.02, (
+        "mid/large d should not lose clearly to the smallest d"
+    )
+    widths, wide_scores = results["num_wide"]
+    assert max(wide_scores[1:]) > wide_scores[0] - 0.02, (
+        "more wide neighbors should help over a single neighbor"
+    )
+    depths, deep_scores = results["num_deep"]
+    assert max(deep_scores[1:]) > deep_scores[0] - 0.02, (
+        "longer deep walks should help over length-1 walks"
+    )
+    walks, walk_scores = results["num_deep_walks"]
+    assert min(walk_scores) > max(walk_scores) - 0.2, (
+        "more deep walks should not catastrophically hurt"
+    )

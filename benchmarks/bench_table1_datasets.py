@@ -1,0 +1,54 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the paper's dataset-statistics table for the reproduction-scale
+synthetic graphs and checks the schema-level facts that must match exactly:
+node/edge type counts, class counts, and the relative size ordering
+ACM < DBLP < Yelp.
+"""
+
+from harness import load_dataset
+
+PAPER_TABLE1 = {
+    #          nodes, node types, edges, edge types, features, classes
+    "acm": (8994, 3, 25922, 2, 1902, 3),
+    "dblp": (18405, 4, 67946, 3, 334, 4),
+    "yelp": (2179470, 4, 37776380, 4, 184, 3),
+}
+
+
+def _collect():
+    return {name: load_dataset(name) for name in ("acm", "dblp", "yelp")}
+
+
+def test_table1_dataset_statistics(benchmark):
+    datasets = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print("\nTable 1: dataset statistics (measured vs paper)")
+    header = (
+        f"{'dataset':<8}{'nodes':>10}{'ntypes':>8}{'edges':>10}{'etypes':>8}"
+        f"{'features':>10}{'classes':>9}{'train':>7}{'val':>6}{'test':>7}"
+    )
+    print(header)
+    for name, dataset in datasets.items():
+        stats = dataset.statistics()
+        print(
+            f"{name:<8}{stats['num_nodes']:>10}{stats['num_node_types']:>8}"
+            f"{stats['num_edges']:>10}{stats['num_edge_types']:>8}"
+            f"{stats['num_features']:>10}{stats['num_classes']:>9}"
+            f"{stats['train_nodes']:>7}{stats['val_nodes']:>6}{stats['test_nodes']:>7}"
+        )
+        paper = PAPER_TABLE1[name]
+        print(
+            f"{'(paper)':<8}{paper[0]:>10}{paper[1]:>8}{paper[2]:>10}"
+            f"{paper[3]:>8}{paper[4]:>10}{paper[5]:>9}"
+        )
+
+    # Shape checks: schema must match the paper exactly; scale is reduced.
+    for name, dataset in datasets.items():
+        stats = dataset.statistics()
+        paper = PAPER_TABLE1[name]
+        assert stats["num_node_types"] == paper[1], name
+        assert stats["num_edge_types"] == paper[3], name
+        assert stats["num_classes"] == paper[5], name
+    sizes = [datasets[n].graph.num_nodes for n in ("acm", "dblp", "yelp")]
+    assert sizes[0] < sizes[1] < sizes[2], "relative dataset sizes must match paper"

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `harness` importable regardless of pytest rootdir configuration.
+sys.path.insert(0, str(Path(__file__).parent))

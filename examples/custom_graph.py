@@ -1,0 +1,91 @@
+"""Bring your own heterogeneous graph.
+
+Shows the full substrate API: build a custom typed graph with
+``GraphBuilder`` (here, an e-commerce graph of users, products and brands),
+attach features and labels, create a split, and train both WIDEN and a
+baseline on it.  This is the path a downstream user takes for their own
+data.
+
+Run:  python examples/custom_graph.py
+"""
+
+import numpy as np
+
+from repro.baselines import GraphSAGE
+from repro.core import WidenClassifier
+from repro.datasets.dataset import Dataset
+from repro.datasets.splits import make_transductive_split
+from repro.eval import micro_f1
+from repro.graph import GraphBuilder
+
+
+def build_ecommerce_graph(seed: int = 0):
+    """A small user/product/brand graph with purchase and brand edges.
+
+    Products are labeled by demand tier; the signal lives in (a) product
+    features and (b) which users buy them (users have segments that
+    correlate with demand).
+    """
+    rng = np.random.default_rng(seed)
+    num_products, num_users, num_brands, num_classes = 300, 500, 20, 3
+
+    builder = GraphBuilder()
+    products = builder.add_nodes("product", num_products)
+    users = builder.add_nodes("user", num_users)
+    brands = builder.add_nodes("brand", num_brands)
+
+    product_tier = rng.integers(0, num_classes, num_products)
+    user_segment = rng.integers(0, num_classes, num_users)
+
+    # Users buy mostly within their segment's demand tier.
+    src, dst = [], []
+    for product in range(num_products):
+        for _ in range(rng.poisson(4) + 1):
+            if rng.random() < 0.8:
+                candidates = np.flatnonzero(user_segment == product_tier[product])
+            else:
+                candidates = np.arange(num_users)
+            src.append(product)
+            dst.append(users[rng.choice(candidates)])
+    builder.add_edges("purchased", np.array(src), np.array(dst))
+
+    # Brands are shared across tiers (weakly informative).
+    builder.add_edges(
+        "made-by",
+        products,
+        brands[rng.integers(0, num_brands, num_products)],
+    )
+
+    # Features: tier prototype + noise for products; segment prototype for
+    # users; random for brands.
+    dim = 24
+    prototypes = rng.normal(size=(num_classes, dim)) * 2.0
+    features = rng.normal(size=(builder.num_nodes, dim))
+    features[products] += prototypes[product_tier] * 0.7
+    features[users] += prototypes[user_segment] * 0.7
+
+    labels = np.full(builder.num_nodes, -1, dtype=np.int64)
+    labels[products] = product_tier
+    return builder.finalize(features=features, labels=labels, num_classes=num_classes)
+
+
+def main() -> None:
+    graph = build_ecommerce_graph(seed=0)
+    print(f"custom graph: {graph}")
+    split = make_transductive_split(
+        graph, "product", train_per_class=25, val_per_class=10, rng=1
+    )
+    dataset = Dataset("ecommerce", graph, "product", split)
+
+    for model in (
+        WidenClassifier(seed=0, dim=24, num_wide=8, num_deep=6),
+        GraphSAGE(seed=0, hidden=24),
+    ):
+        model.fit(graph, split.train, epochs=15)
+        predictions = model.predict(split.test)
+        score = micro_f1(graph.labels[split.test], predictions)
+        print(f"{model.name:<10} demand-tier micro-F1: {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

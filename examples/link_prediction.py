@@ -1,0 +1,65 @@
+"""Link prediction: predict missing edges with WIDEN embeddings.
+
+The paper's second downstream task.  We hold out 10% of ACM edges, train
+WIDEN against a bilinear edge objective with negative sampling, and rank
+held-out true edges against sampled non-edges (ROC-AUC).  An unsupervised
+walk-context model is trained as a comparison point, showing the same
+embeddings serve multiple objectives.
+
+Run:  python examples/link_prediction.py
+"""
+
+import numpy as np
+
+from repro.core import WidenConfig, WidenModel
+from repro.core.link_prediction import LinkPredictionTrainer, split_edges
+from repro.core.unsupervised import UnsupervisedWidenTrainer
+from repro.datasets import make_acm
+from repro.eval.metrics import roc_auc
+
+
+def main() -> None:
+    dataset = make_acm(seed=0)
+    split = split_edges(dataset.graph, holdout_fraction=0.1, rng=0)
+    print(f"graph: {dataset.graph}")
+    print(f"held-out edges: {len(split.positive_edges)} positives, "
+          f"{len(split.negative_edges)} sampled non-edges")
+
+    edges = np.vstack([split.positive_edges, split.negative_edges])
+    labels = np.concatenate(
+        [np.ones(len(split.positive_edges)), np.zeros(len(split.negative_edges))]
+    )
+
+    config = WidenConfig(dim=16, num_wide=6, num_deep=5, num_deep_walks=1,
+                         learning_rate=1e-2, dropout=0.0)
+
+    def fresh_model():
+        return WidenModel(
+            dataset.graph.features.shape[1],
+            dataset.graph.num_edge_types_with_loops,
+            dataset.graph.num_classes,
+            config,
+            seed=0,
+        )
+
+    print("\n-- WIDEN with the bilinear edge objective --")
+    trainer = LinkPredictionTrainer(fresh_model(), split.train_graph, config, seed=0)
+    auc_before = roc_auc(labels, trainer.score_edges(edges))
+    trainer.fit(epochs=6, edges_per_epoch=512)
+    auc_after = roc_auc(labels, trainer.score_edges(edges))
+    print(f"ROC-AUC before training: {auc_before:.3f}")
+    print(f"ROC-AUC after training:  {auc_after:.3f}")
+
+    print("\n-- Unsupervised walk-context embeddings, dot-product scoring --")
+    unsupervised = UnsupervisedWidenTrainer(
+        fresh_model(), split.train_graph, config, seed=0
+    )
+    unsupervised.fit(epochs=4, anchors_per_epoch=256)
+    nodes = np.unique(edges.reshape(-1))
+    table = dict(zip(nodes.tolist(), unsupervised.embed(nodes)))
+    scores = np.array([float(table[int(u)] @ table[int(v)]) for u, v in edges])
+    print(f"ROC-AUC (unsupervised embeddings): {roc_auc(labels, scores):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: train WIDEN on an ACM-like heterogeneous graph.
+
+Demonstrates the three-step workflow every example follows:
+
+1. build (or load) a heterogeneous graph dataset,
+2. train WIDEN semi-supervised,
+3. evaluate micro-F1 on held-out test nodes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import WidenClassifier
+from repro.datasets import make_acm
+from repro.eval import micro_f1
+
+
+def main() -> None:
+    # An ACM-like academic graph: papers (labeled by research area),
+    # authors, and subjects, with typed edges.
+    dataset = make_acm(seed=0)
+    graph = dataset.graph
+    print(f"dataset: {dataset.name}  {graph}")
+    print(f"node types: {graph.node_type_names}")
+    print(f"edge types: {graph.edge_type_names}")
+
+    # WIDEN with reproduction-scale hyperparameters (see WidenConfig for the
+    # full knob list: wide/deep sample sizes, downsampling thresholds, ...).
+    model = WidenClassifier(seed=0, dim=32, num_wide=10, num_deep=8)
+    model.fit(graph, dataset.split.train, epochs=20)
+    print(f"trained {model.num_parameters()} parameters "
+          f"in {sum(model.epoch_seconds):.1f}s")
+    drops = model.trainer.history
+    print(f"active downsampling dropped {sum(drops.wide_drops)} wide and "
+          f"{sum(drops.deep_drops)} deep neighbors during training")
+
+    predictions = model.predict(dataset.split.test)
+    score = micro_f1(graph.labels[dataset.split.test], predictions)
+    print(f"test micro-F1: {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

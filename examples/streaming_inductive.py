@@ -1,0 +1,57 @@
+"""Inductive embedding of brand-new nodes — the streaming scenario.
+
+The paper motivates inductiveness with "high-throughput, production machine
+learning systems" that constantly encounter unseen nodes (new users, new
+videos).  This example simulates that: WIDEN trains on a graph with 20% of
+businesses missing, then — without any retraining — embeds and classifies
+the new nodes the moment they arrive with their features and connections.
+
+For contrast, the same protocol is run through GCN, whose spectral
+convolution was designed for a fixed graph, and Node2Vec, which cannot
+handle unseen nodes at all.
+
+Run:  python examples/streaming_inductive.py
+"""
+
+import numpy as np
+
+from repro.baselines import GCN, Node2Vec
+from repro.core import WidenClassifier
+from repro.datasets import make_inductive_split, make_yelp
+from repro.eval import micro_f1
+
+
+def main() -> None:
+    dataset = make_yelp(seed=0, scale=0.4)
+    split = make_inductive_split(dataset, holdout_fraction=0.2, rng=0)
+    print(f"full graph: {dataset.graph}")
+    print(f"training graph (new businesses removed): {split.train_graph}")
+    print(f"arriving nodes to embed later: {split.holdout.size}")
+
+    labels = dataset.graph.labels[split.holdout]
+
+    print("\n-- WIDEN (built for this) --")
+    widen = WidenClassifier(seed=0)
+    widen.fit(split.train_graph, split.train_nodes, epochs=15)
+    # The 'stream' arrives: classify nodes the model has never seen, in the
+    # restored full graph, with zero retraining.
+    predictions = widen.predict(split.holdout, graph=dataset.graph)
+    print(f"micro-F1 on unseen businesses: {micro_f1(labels, predictions):.4f}")
+
+    print("\n-- GCN (transductive by design) --")
+    gcn = GCN(seed=0)
+    gcn.fit(split.train_graph, split.train_nodes, epochs=40)
+    predictions = gcn.predict(split.holdout, graph=dataset.graph)
+    print(f"micro-F1 on unseen businesses: {micro_f1(labels, predictions):.4f}")
+
+    print("\n-- Node2Vec (cannot embed unseen nodes) --")
+    node2vec = Node2Vec(seed=0)
+    node2vec.fit(split.train_graph, split.train_nodes, epochs=1)
+    try:
+        node2vec.predict(split.holdout, graph=dataset.graph)
+    except ValueError as error:
+        print(f"rejected, as expected: {error}")
+
+
+if __name__ == "__main__":
+    main()

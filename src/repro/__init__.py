@@ -1,0 +1,27 @@
+"""repro — a full reproduction of WIDEN (ICDE 2022).
+
+WIDEN is a wide and deep message passing network for inductive, efficient
+representation learning on heterogeneous graphs.  This package implements the
+model, every substrate it needs (an autograd engine, NN layers, optimizers, a
+heterogeneous graph library, synthetic dataset generators), all eight
+baselines from the paper's evaluation, and the evaluation tooling used to
+regenerate every table and figure.
+
+Quickstart::
+
+    from repro.datasets import make_acm
+    from repro.core import WidenClassifier
+    from repro.eval import micro_f1
+
+    dataset = make_acm(seed=0)
+    model = WidenClassifier(seed=0, dim=32, num_wide=10, num_deep=8)
+    model.fit(dataset.graph, dataset.split.train, epochs=20)
+    pred = model.predict(dataset.split.test)
+    print(micro_f1(dataset.graph.labels[dataset.split.test], pred))
+"""
+
+__version__ = "0.1.0"
+
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["Tensor", "no_grad", "__version__"]

@@ -1,0 +1,53 @@
+"""The eight baselines of the paper's evaluation (Section 4.2).
+
+All baselines run on the same autograd engine and graph substrate as WIDEN,
+so relative comparisons (accuracy, per-epoch time, parameter counts) are
+apples to apples.  Each model subclasses
+:class:`~repro.baselines.common.BaseClassifier` and exposes the same
+``fit`` / ``predict`` / ``embed`` interface the protocol runners consume.
+
+| Paper baseline | Class            | Notes on the reproduction           |
+|----------------|------------------|-------------------------------------|
+| Node2Vec       | :class:`Node2Vec`| biased walks + SGNS, id embeddings; transductive only |
+| GCN            | :class:`GCN`     | full-batch spectral convolutions (sparse propagation) |
+| FastGCN        | :class:`FastGCN` | layerwise importance-sampled minibatch GCN |
+| GraphSAGE      | :class:`GraphSAGE`| mean aggregator, 2-layer neighbor sampling |
+| GAT            | :class:`GAT`     | neighborhood attention, 2 layers    |
+| GTN            | :class:`GTN`     | soft edge-type selection + composed meta-path convolution (dense; slow by design, as in the paper) |
+| HAN            | :class:`HAN`     | meta-path node-level + semantic attention |
+| HGT            | :class:`HGT`     | type-specific projections + heterogeneous mutual attention |
+"""
+
+from repro.baselines.common import BaseClassifier
+from repro.baselines.node2vec import Node2Vec
+from repro.baselines.gcn import GCN
+from repro.baselines.fastgcn import FastGCN
+from repro.baselines.graphsage import GraphSAGE
+from repro.baselines.gat import GAT
+from repro.baselines.gtn import GTN
+from repro.baselines.han import HAN
+from repro.baselines.hgt import HGT
+
+BASELINES = {
+    "node2vec": Node2Vec,
+    "gcn": GCN,
+    "fastgcn": FastGCN,
+    "graphsage": GraphSAGE,
+    "gat": GAT,
+    "gtn": GTN,
+    "han": HAN,
+    "hgt": HGT,
+}
+
+__all__ = [
+    "BaseClassifier",
+    "Node2Vec",
+    "GCN",
+    "FastGCN",
+    "GraphSAGE",
+    "GAT",
+    "GTN",
+    "HAN",
+    "HGT",
+    "BASELINES",
+]

@@ -1,0 +1,138 @@
+"""FastGCN baseline (Chen, Ma & Xiao, 2018).
+
+GCN with **layerwise importance sampling**: instead of full-batch
+propagation, each minibatch samples a fixed-size support set per layer with
+probability proportional to the squared column norm of ``Â``, and the
+convolution is evaluated as an importance-weighted Monte-Carlo estimate::
+
+    H^(l+1)[batch] = σ( Â[batch, S] diag(1 / (s · q[S])) H^(l)[S] W )
+
+This keeps per-step cost independent of graph size (the paper's "parallelizable
+model ... retaining similar performance as GCN").  Evaluation uses the exact
+full-batch forward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import BaseClassifier
+from repro.graph import HeteroGraph
+from repro.nn import Linear, Module
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F, ops
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class _FastGcnNet(Module):
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, rngs):
+        super().__init__()
+        self.layer1 = Linear(in_dim, hidden, rng=rngs[0])
+        self.layer2 = Linear(hidden, out_dim, rng=rngs[1])
+
+
+class FastGCN(BaseClassifier):
+    """Two-layer GCN trained with layerwise importance sampling."""
+
+    name = "fastgcn"
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        sample_size: int = 256,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        weight_decay: float = 5e-4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.sample_size = sample_size
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        rngs = spawn_rngs(seed, 3)
+        self._net_rngs = rngs[:2]
+        self._rng = new_rng(rngs[2])
+        self.net: Optional[_FastGcnNet] = None
+        self._adj: Optional[sp.csr_matrix] = None
+        self._importance: Optional[np.ndarray] = None
+
+    def _build(self, graph: HeteroGraph) -> None:
+        self.net = _FastGcnNet(
+            graph.features.shape[1], self.hidden, graph.num_classes, self._net_rngs
+        )
+        self.optimizer = Adam(
+            self.net.parameters(), lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        self._adj = graph.normalized_adjacency()
+        # Importance distribution q(v) ∝ ||Â[:, v]||² (the FastGCN choice).
+        column_norms = np.asarray(self._adj.multiply(self._adj).sum(axis=0)).reshape(-1)
+        total = column_norms.sum()
+        if total <= 0:
+            column_norms = np.ones_like(column_norms)
+            total = column_norms.sum()
+        self._importance = column_norms / total
+
+    def _on_rebind(self, graph: HeteroGraph) -> None:
+        self._adj = graph.normalized_adjacency()
+        column_norms = np.asarray(self._adj.multiply(self._adj).sum(axis=0)).reshape(-1)
+        total = column_norms.sum()
+        if total <= 0:
+            column_norms = np.ones_like(column_norms)
+            total = column_norms.sum()
+        self._importance = column_norms / total
+
+    def _sample_support(self) -> np.ndarray:
+        size = min(self.sample_size, self.graph.num_nodes)
+        return self._rng.choice(
+            self.graph.num_nodes, size=size, replace=False, p=self._importance
+        )
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        self.net.train()
+        order = self._rng.permutation(train_nodes.size)
+        shuffled = train_nodes[order]
+        total_loss = 0.0
+        count = 0
+        for start in range(0, shuffled.size, self.batch_size):
+            batch = shuffled[start : start + self.batch_size]
+            support1 = self._sample_support()  # hidden-layer support
+            support2 = self._sample_support()  # input-layer support
+            scale1 = 1.0 / (support1.size * self._importance[support1])
+            scale2 = 1.0 / (support2.size * self._importance[support2])
+            # Layer 1 estimate on support1: Â[s1, s2] diag(scale2) X[s2] W0
+            block12 = self._adj[support1][:, support2].multiply(scale2).tocsr()
+            hidden = ops.relu(
+                ops.spmm(block12, self.net.layer1(Tensor(self.graph.features[support2])))
+            )
+            # Layer 2 estimate on the batch rows.
+            block01 = self._adj[batch][:, support1].multiply(scale1).tocsr()
+            logits = ops.spmm(block01, self.net.layer2(hidden))
+            loss = F.cross_entropy(logits, self.graph.labels[batch])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss.item() * batch.size
+            count += batch.size
+        return total_loss / max(count, 1)
+
+    def _full_forward(self, graph: HeteroGraph):
+        adj = self._adj if graph is self.graph else graph.normalized_adjacency()
+        self.net.eval()
+        hidden = ops.relu(ops.spmm(adj, self.net.layer1(Tensor(graph.features))))
+        logits = ops.spmm(adj, self.net.layer2(hidden))
+        self.net.train()
+        return logits, hidden
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        _, hidden = self._full_forward(graph)
+        return hidden.data[nodes]
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        logits, _ = self._full_forward(graph)
+        return logits.data[nodes].argmax(axis=1)

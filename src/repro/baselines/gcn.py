@@ -1,0 +1,105 @@
+"""GCN baseline (Kipf & Welling, 2017).
+
+Two spectral convolution layers over the symmetric-normalized adjacency
+``Â = D^-1/2 (A + I) D^-1/2`` of the heterogeneous graph (type information is
+ignored — that is the point of the baseline)::
+
+    H = ReLU(Â X W0)
+    Z = Â H W1
+
+Full-batch training, as in the original (the paper notes this requires the
+full adjacency, making GCN transductive by design; the inductive protocol
+masks held-out nodes during training and restores them for evaluation, which
+our interface realizes by passing the full graph at predict time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import BaseClassifier
+from repro.graph import HeteroGraph
+from repro.nn import Dropout, Linear, Module
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F, ops
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class _GcnNet(Module):
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, dropout: float, rngs):
+        super().__init__()
+        self.layer1 = Linear(in_dim, hidden, rng=rngs[0])
+        self.layer2 = Linear(hidden, out_dim, rng=rngs[1])
+        self.dropout = Dropout(dropout, rng=rngs[2])
+
+    def forward(self, adj: sp.csr_matrix, features: Tensor):
+        hidden = ops.relu(ops.spmm(adj, self.layer1(features)))
+        hidden = self.dropout(hidden)
+        logits = ops.spmm(adj, self.layer2(hidden))
+        return logits, hidden
+
+
+class GCN(BaseClassifier):
+    """Full-batch two-layer graph convolutional network."""
+
+    name = "gcn"
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        learning_rate: float = 0.01,
+        weight_decay: float = 5e-4,
+        dropout: float = 0.3,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self._rngs = spawn_rngs(seed, 3)
+        self.net: Optional[_GcnNet] = None
+        self._adj_cache: Dict[int, sp.csr_matrix] = {}
+
+    def _build(self, graph: HeteroGraph) -> None:
+        self.net = _GcnNet(
+            graph.features.shape[1], self.hidden, graph.num_classes,
+            self.dropout, self._rngs,
+        )
+        self.optimizer = Adam(
+            self.net.parameters(), lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+
+    def _normalized(self, graph: HeteroGraph) -> sp.csr_matrix:
+        key = id(graph)
+        if key not in self._adj_cache:
+            self._adj_cache[key] = graph.normalized_adjacency()
+        return self._adj_cache[key]
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        self.net.train()
+        adj = self._normalized(self.graph)
+        logits, _ = self.net(adj, Tensor(self.graph.features))
+        loss = F.cross_entropy(logits[train_nodes], self.graph.labels[train_nodes])
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def _forward_eval(self, graph: HeteroGraph):
+        self.net.eval()
+        out = self.net(self._normalized(graph), Tensor(graph.features))
+        self.net.train()
+        return out
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        _, hidden = self._forward_eval(graph)
+        return hidden.data[nodes]
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        logits, _ = self._forward_eval(graph)
+        return logits.data[nodes].argmax(axis=1)

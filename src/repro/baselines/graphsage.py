@@ -1,0 +1,127 @@
+"""GraphSAGE baseline (Hamilton, Ying & Leskovec, 2017).
+
+Two layers of the sample-and-aggregate scheme with the mean aggregator::
+
+    h_v^(l+1) = ReLU( W^(l) [ h_v^(l) ; mean_{u ∈ N_k(v)} h_u^(l) ] )
+
+Minibatch training over target nodes with recursive neighbor sampling
+(``fanout`` neighbors at each of the two hops), final embeddings L2
+normalized as in the original.  Fully inductive: parameters touch only
+features, never node identities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaseClassifier, sample_neighbor_matrix
+from repro.graph import HeteroGraph
+from repro.nn import Linear, Module
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F, ops
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class _SageLayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng):
+        super().__init__()
+        self.transform = Linear(2 * in_dim, out_dim, rng=rng)
+
+    def forward(self, self_feats: Tensor, neighbor_feats: Tensor) -> Tensor:
+        """``self_feats``: (B, d); ``neighbor_feats``: (B, K, d)."""
+        pooled = ops.mean(neighbor_feats, axis=1)
+        return ops.relu(self.transform(ops.concat([self_feats, pooled], axis=1)))
+
+
+class _SageNet(Module):
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, rngs):
+        super().__init__()
+        self.layer1 = _SageLayer(in_dim, hidden, rngs[0])
+        self.layer2 = _SageLayer(hidden, hidden, rngs[1])
+        self.classifier = Linear(hidden, out_dim, rng=rngs[2])
+
+
+class GraphSAGE(BaseClassifier):
+    """Two-layer mean-aggregator GraphSAGE with neighbor sampling."""
+
+    name = "graphsage"
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        fanout: int = 5,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        weight_decay: float = 5e-4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.fanout = fanout
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        rngs = spawn_rngs(seed, 4)
+        self._net_rngs = rngs[:3]
+        self._rng = new_rng(rngs[3])
+        self.net: Optional[_SageNet] = None
+
+    def _build(self, graph: HeteroGraph) -> None:
+        self.net = _SageNet(
+            graph.features.shape[1], self.hidden, graph.num_classes, self._net_rngs
+        )
+        self.optimizer = Adam(
+            self.net.parameters(), lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+
+    def _forward_batch(self, nodes: np.ndarray, graph: HeteroGraph) -> Tensor:
+        """Embeddings for ``nodes`` via 2-hop sampled aggregation."""
+        k = self.fanout
+        hop1 = sample_neighbor_matrix(graph, nodes, k, self._rng)  # (B, K)
+        hop2 = sample_neighbor_matrix(graph, hop1.reshape(-1), k, self._rng)  # (B*K, K)
+        features = graph.features
+        # Layer 1 applied to the hop-1 frontier (targets of layer 2).
+        frontier_self = Tensor(features[hop1.reshape(-1)])  # (B*K, d0)
+        frontier_neigh = Tensor(features[hop2].reshape(nodes.size * k, k, -1))
+        frontier_hidden = self.net.layer1(frontier_self, frontier_neigh)  # (B*K, h)
+        # Layer 1 applied to the batch itself.
+        batch_self = Tensor(features[nodes])
+        batch_neigh = Tensor(features[hop1].reshape(nodes.size, k, -1))
+        batch_hidden = self.net.layer1(batch_self, batch_neigh)  # (B, h)
+        # Layer 2: batch aggregates its hop-1 frontier's hidden states.
+        frontier_3d = ops.reshape(frontier_hidden, (nodes.size, k, self.hidden))
+        out = self.net.layer2(batch_hidden, frontier_3d)
+        return F.l2_normalize(out, axis=-1)
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        self.net.train()
+        order = self._rng.permutation(train_nodes.size)
+        shuffled = train_nodes[order]
+        total_loss = 0.0
+        count = 0
+        for start in range(0, shuffled.size, self.batch_size):
+            batch = shuffled[start : start + self.batch_size]
+            embeddings = self._forward_batch(batch, self.graph)
+            logits = self.net.classifier(embeddings)
+            loss = F.cross_entropy(logits, self.graph.labels[batch])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss.item() * batch.size
+            count += batch.size
+        return total_loss / max(count, 1)
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        self.net.eval()
+        out = self._forward_batch(nodes, graph).data
+        self.net.train()
+        return out
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        self.net.eval()
+        logits = self.net.classifier(self._forward_batch(nodes, graph))
+        self.net.train()
+        return logits.data.argmax(axis=1)

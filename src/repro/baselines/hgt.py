@@ -1,0 +1,191 @@
+"""HGT baseline (Hu et al., 2020).
+
+The Heterogeneous Graph Transformer parameterizes attention by *meta
+relations*: node-type-specific Key/Query/Value projections and edge-type-
+specific attention/message transforms.  Per layer, for target ``t`` and
+neighbor ``n`` connected by edge type ``e``::
+
+    att(t, e, n) = ( Q_τ(t) h_t · W_att^e (K_τ(n) h_n)^T ) · μ_e / √d
+    msg(e, n)    = V_τ(n) h_n · W_msg^e
+    h_t'         = ReLU(W_out · Σ_n softmax(att)·msg) + h_t      (residual)
+
+This reproduction keeps the paper's hierarchical structure: a type-specific
+input projection followed by ``num_layers`` stacked transformer layers, each
+recursively attending over freshly sampled typed neighborhoods — so a
+2-layer HGT touches a 2-hop neighborhood per target, at the per-type /
+per-relation parameter cost WIDEN's efficiency critique targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.common import BaseClassifier, sample_typed_neighbor_matrix
+from repro.graph import HeteroGraph
+from repro.nn import Linear, Module, Parameter
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F, ops
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class _HgtLayer(Module):
+    """One heterogeneous mutual-attention layer (hidden -> hidden)."""
+
+    def __init__(self, hidden: int, num_node_types: int, num_edge_types: int, rng):
+        super().__init__()
+        rngs = iter(spawn_rngs(rng, 3 * num_node_types + 2 * num_edge_types + 1))
+        self.key_proj = self.register_modules(
+            "key_proj",
+            [Linear(hidden, hidden, rng=next(rngs)) for _ in range(num_node_types)],
+        )
+        self.query_proj = self.register_modules(
+            "query_proj",
+            [Linear(hidden, hidden, rng=next(rngs)) for _ in range(num_node_types)],
+        )
+        self.value_proj = self.register_modules(
+            "value_proj",
+            [Linear(hidden, hidden, rng=next(rngs)) for _ in range(num_node_types)],
+        )
+        self.w_att = self.register_modules(
+            "w_att",
+            [Linear(hidden, hidden, bias=False, rng=next(rngs))
+             for _ in range(num_edge_types)],
+        )
+        self.w_msg = self.register_modules(
+            "w_msg",
+            [Linear(hidden, hidden, bias=False, rng=next(rngs))
+             for _ in range(num_edge_types)],
+        )
+        self.edge_prior = Parameter(np.ones(num_edge_types), name="mu")
+        self.out = Linear(hidden, hidden, rng=next(rngs))
+
+
+class _HgtNet(Module):
+    def __init__(
+        self, in_dim: int, hidden: int, out_dim: int,
+        num_node_types: int, num_edge_types: int, num_layers: int, rng,
+    ):
+        super().__init__()
+        rngs = spawn_rngs(rng, num_node_types + num_layers + 1)
+        self.input_proj = self.register_modules(
+            "input_proj",
+            [Linear(in_dim, hidden, rng=rngs[t]) for t in range(num_node_types)],
+        )
+        self.layers = self.register_modules(
+            "layers",
+            [
+                _HgtLayer(hidden, num_node_types, num_edge_types,
+                          rngs[num_node_types + layer])
+                for layer in range(num_layers)
+            ],
+        )
+        self.classifier = Linear(hidden, out_dim, rng=rngs[-1])
+
+
+class HGT(BaseClassifier):
+    """Stacked heterogeneous graph transformer over sampled neighborhoods."""
+
+    name = "hgt"
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        fanout: int = 5,
+        num_layers: int = 2,
+        batch_size: int = 64,
+        learning_rate: float = 0.005,
+        weight_decay: float = 5e-4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.hidden = hidden
+        self.fanout = fanout
+        self.num_layers = num_layers
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        rngs = spawn_rngs(seed, 2)
+        self._net_rng = rngs[0]
+        self._rng = new_rng(rngs[1])
+        self.net: Optional[_HgtNet] = None
+
+    def _build(self, graph: HeteroGraph) -> None:
+        self.net = _HgtNet(
+            graph.features.shape[1], self.hidden, graph.num_classes,
+            graph.num_node_types, graph.num_edge_types_with_loops,
+            self.num_layers, self._net_rng,
+        )
+        self.optimizer = Adam(
+            self.net.parameters(), lr=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+
+    def _represent(self, node: int, graph: HeteroGraph, depth: int) -> Tensor:
+        """Representation of ``node`` after ``depth`` HGT layers.
+
+        ``depth == 0`` is the type-specific input projection; deeper levels
+        recursively attend over freshly sampled typed neighborhoods, so the
+        receptive field grows one hop per layer, as in the original.
+        """
+        node_type = int(graph.node_types[node])
+        if depth == 0:
+            return self.net.input_proj[node_type](Tensor(graph.features[node]))
+        layer = self.net.layers[depth - 1]
+        h_target = self._represent(node, graph, depth - 1)
+        query = layer.query_proj[node_type](h_target)
+        neighbor_ids, edge_types = sample_typed_neighbor_matrix(
+            graph, np.array([node]), self.fanout, self._rng
+        )
+        scores: List[Tensor] = []
+        messages: List[Tensor] = []
+        for neighbor, etype in zip(neighbor_ids[0], edge_types[0]):
+            neighbor_type = int(graph.node_types[neighbor])
+            h_neighbor = self._represent(int(neighbor), graph, depth - 1)
+            key = layer.key_proj[neighbor_type](h_neighbor)
+            value = layer.value_proj[neighbor_type](h_neighbor)
+            attended_key = layer.w_att[int(etype)](key)
+            prior = layer.edge_prior[int(etype)]
+            scores.append(ops.sum(query * attended_key) * prior / np.sqrt(self.hidden))
+            messages.append(layer.w_msg[int(etype)](value))
+        alpha = F.softmax(ops.stack(scores), axis=-1)
+        aggregated = alpha[0] * messages[0]
+        for k in range(1, len(messages)):
+            aggregated = aggregated + alpha[k] * messages[k]
+        return ops.relu(layer.out(aggregated)) + h_target
+
+    def _forward_batch(self, nodes: np.ndarray, graph: HeteroGraph) -> Tensor:
+        rows = [self._represent(int(node), graph, self.num_layers) for node in nodes]
+        return F.l2_normalize(ops.stack(rows), axis=-1)
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        self.net.train()
+        order = self._rng.permutation(train_nodes.size)
+        shuffled = train_nodes[order]
+        total_loss = 0.0
+        count = 0
+        for start in range(0, shuffled.size, self.batch_size):
+            batch = shuffled[start : start + self.batch_size]
+            logits = self.net.classifier(self._forward_batch(batch, self.graph))
+            loss = F.cross_entropy(logits, self.graph.labels[batch])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss.item() * batch.size
+            count += batch.size
+        return total_loss / max(count, 1)
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        self.net.eval()
+        out = self._forward_batch(nodes, graph).data
+        self.net.train()
+        return out
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        self.net.eval()
+        logits = self.net.classifier(self._forward_batch(nodes, graph))
+        self.net.train()
+        return logits.data.argmax(axis=1)

@@ -1,0 +1,143 @@
+"""Node2Vec baseline (Grover & Leskovec, 2016).
+
+Unsupervised: biased second-order random walks feed a skip-gram objective
+with negative sampling (SGNS), optimized with hand-rolled numpy gradients
+(the classic formulation — no autograd needed, and it keeps the baseline
+fast like the reference implementation).  A logistic-regression head is then
+fit on the frozen embeddings of labeled training nodes, matching the paper's
+protocol ("Node2Vec ... is trained in a solely unsupervised manner").
+
+Transductive only: embeddings are indexed by node identity, so unseen nodes
+have no representation — the paper excludes Node2Vec from the inductive
+comparison for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaseClassifier
+from repro.graph import HeteroGraph, node2vec_walk
+from repro.nn import Linear
+from repro.optim import Adam
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+
+class Node2Vec(BaseClassifier):
+    """Biased random walks + SGNS embeddings + logistic-regression head."""
+
+    name = "node2vec"
+    supports_inductive = False
+
+    def __init__(
+        self,
+        dim: int = 32,
+        walk_length: int = 10,
+        walks_per_node: int = 3,
+        window: int = 3,
+        negatives: int = 2,
+        p: float = 1.0,
+        q: float = 1.0,
+        learning_rate: float = 0.025,
+        classifier_epochs: int = 100,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.walk_length = walk_length
+        self.walks_per_node = walks_per_node
+        self.window = window
+        self.negatives = negatives
+        self.p = p
+        self.q = q
+        self.learning_rate = learning_rate
+        self.classifier_epochs = classifier_epochs
+        rngs = spawn_rngs(seed, 3)
+        self._rng = new_rng(rngs[0])
+        self._head_rng = rngs[1]
+        self._init_rng = new_rng(rngs[2])
+        self.embeddings: Optional[np.ndarray] = None
+        self.head: Optional[Linear] = None
+
+    def _build(self, graph: HeteroGraph) -> None:
+        n = graph.num_nodes
+        self.embeddings = (self._init_rng.random((n, self.dim)) - 0.5) / self.dim
+        self._context = np.zeros((n, self.dim))
+        self.head = Linear(self.dim, graph.num_classes, rng=self._head_rng)
+        self._head_optimizer = Adam(self.head.parameters(), lr=0.05)
+
+    def _on_rebind(self, graph: HeteroGraph) -> None:
+        raise ValueError(
+            "node2vec embeds nodes by identity and cannot be rebound to a "
+            "different graph (partition training is unsupported)"
+        )
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        """One epoch = one pass of walks over all nodes + SGNS updates,
+        followed by refreshing the logistic head on the training labels."""
+        graph = self.graph
+        total_loss = 0.0
+        pairs = 0
+        lr = self.learning_rate
+        for start in self._rng.permutation(graph.num_nodes):
+            for _ in range(self.walks_per_node):
+                walk = node2vec_walk(
+                    graph, int(start), self.walk_length, p=self.p, q=self.q,
+                    rng=self._rng,
+                )
+                loss, count = self._sgns_update(walk, lr)
+                total_loss += loss
+                pairs += count
+        self._fit_head(train_nodes)
+        return total_loss / max(pairs, 1)
+
+    def _sgns_update(self, walk: np.ndarray, lr: float):
+        """Skip-gram with negative sampling over one walk (manual grads)."""
+        emb, ctx = self.embeddings, self._context
+        rng = self._rng
+        n = self.graph.num_nodes
+        loss = 0.0
+        pairs = 0
+        for center_pos, center in enumerate(walk):
+            lo = max(0, center_pos - self.window)
+            hi = min(walk.size, center_pos + self.window + 1)
+            for context_pos in range(lo, hi):
+                if context_pos == center_pos:
+                    continue
+                target = walk[context_pos]
+                negatives = rng.integers(0, n, size=self.negatives)
+                samples = np.concatenate(([target], negatives))
+                labels = np.zeros(samples.size)
+                labels[0] = 1.0
+                vectors = ctx[samples]  # (1+neg, dim)
+                scores = vectors @ emb[center]
+                sig = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+                grad_scores = sig - labels  # d loss / d score
+                grad_center = grad_scores @ vectors
+                ctx[samples] -= lr * np.outer(grad_scores, emb[center])
+                emb[center] -= lr * grad_center
+                loss += float(
+                    -np.log(np.clip(sig[0], 1e-10, 1))
+                    - np.log(np.clip(1 - sig[1:], 1e-10, 1)).sum()
+                )
+                pairs += 1
+        return loss, pairs
+
+    def _fit_head(self, train_nodes: np.ndarray) -> None:
+        features = Tensor(self.embeddings[train_nodes])
+        labels = self.graph.labels[train_nodes]
+        for _ in range(self.classifier_epochs):
+            self._head_optimizer.zero_grad()
+            loss = F.cross_entropy(self.head(features), labels)
+            loss.backward()
+            self._head_optimizer.step()
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        return self.embeddings[nodes]
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        logits = self.head(Tensor(self.embeddings[nodes]))
+        return logits.data.argmax(axis=1)

@@ -1,0 +1,81 @@
+"""Adapter exposing WIDEN through the shared baseline interface.
+
+Benchmarks and protocol runners treat every model as a
+:class:`~repro.baselines.common.BaseClassifier`; this wraps
+:class:`WidenModel` + :class:`WidenTrainer` behind that interface so WIDEN
+slots into the same harness rows as the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import BaseClassifier
+from repro.core.config import WidenConfig
+from repro.core.model import WidenModel
+from repro.core.trainer import WidenTrainer
+from repro.graph import HeteroGraph
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class WidenClassifier(BaseClassifier):
+    """WIDEN as a drop-in classifier."""
+
+    name = "widen"
+
+    def __init__(
+        self,
+        config: Optional[WidenConfig] = None,
+        seed: SeedLike = None,
+        **config_overrides,
+    ) -> None:
+        super().__init__()
+        if config is None:
+            defaults = dict(
+                dim=32, num_wide=10, num_deep=8, num_deep_walks=2,
+                learning_rate=1e-2, dropout=0.5,
+            )
+            defaults.update(config_overrides)
+            config = WidenConfig(**defaults)
+        elif config_overrides:
+            import dataclasses
+
+            config = dataclasses.replace(config, **config_overrides)
+        self.config = config
+        self._model_seed, self._trainer_seed, self._eval_seed = spawn_rngs(seed, 3)
+        self.model: Optional[WidenModel] = None
+        self.trainer: Optional[WidenTrainer] = None
+
+    def _build(self, graph: HeteroGraph) -> None:
+        self.model = WidenModel(
+            graph.features.shape[1],
+            graph.num_edge_types_with_loops,
+            graph.num_classes,
+            self.config,
+            seed=self._model_seed,
+        )
+        self.trainer = WidenTrainer(self.model, graph, self.config, seed=self._trainer_seed)
+
+    def _on_rebind(self, graph: HeteroGraph) -> None:
+        # Keep the trained parameters; rebuild the graph-bound trainer state
+        # (neighbor stores, embedding table) for the new graph.
+        self.trainer = WidenTrainer(
+            self.model, graph, self.config, seed=self._trainer_seed
+        )
+
+    def _train_epoch(self, train_nodes: np.ndarray) -> float:
+        history = self.trainer.fit(train_nodes, epochs=1)
+        return history.losses[-1]
+
+    def _embed(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        if graph is self.graph:
+            return self.trainer.embed(nodes)
+        return self.trainer.embed_inductive(graph, nodes, rng=self._eval_seed)
+
+    def _predict(self, nodes: np.ndarray, graph: HeteroGraph) -> np.ndarray:
+        return self.trainer.predict(self._embed(nodes, graph))
+
+    def num_parameters(self) -> int:
+        return 0 if self.model is None else self.model.num_parameters()

@@ -1,0 +1,291 @@
+"""The WIDEN model: heterogeneous message packaging + wide/deep passing.
+
+One forward pass for a target node ``v_t`` (Section 3):
+
+1. ``pack_wide`` builds ``M°`` (Eq. 1): row 0 is the target's own pack
+   ``v_t ⊙ e_{t,t}`` (self-loop edge embedding of its node type); the rest
+   are ``v_n ⊙ e_{n,t}`` over the wide neighbor set.
+2. ``pack_deep`` builds ``M▷`` (Eq. 2) the same way over a deep random-walk
+   sequence, where each pack's edge links it to its *predecessor*.  Pruned
+   positions carry :class:`~repro.core.relay.RelayRecipe` edges which are
+   re-evaluated against current parameters (Eq. 8).
+3. PASS° (Eq. 3): the target's pack queries ``M°`` through a self-attention
+   unit, yielding ``h_t°`` and the attention distribution the downsampler
+   consumes.
+4. PASS▷ (Eqs. 4-6): successive self-attention with the causal mask Θ
+   refines ``M▷`` into ``H▷``; the target's pack then queries ``H▷`` (keys)
+   against ``M▷`` (values), yielding ``h_t▷`` per walk; the Φ walks are
+   average-pooled.
+5. FUSE (Eq. 7): ``v_t' = normalize(ReLU(W [h°; h▷] + b))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import WidenConfig
+from repro.core.relay import EdgeSpecLike, RelayRecipe
+from repro.core.state import NeighborState
+from repro.graph import HeteroGraph
+from repro.graph.sampling import DeepNeighborSet, WideNeighborSet
+from repro.nn import (
+    Dropout,
+    Embedding,
+    Linear,
+    Module,
+    QueryAttention,
+    SelfAttention,
+    causal_mask,
+)
+from repro.tensor import Tensor, functional as F, ops
+from repro.utils.rng import SeedLike, spawn_rngs
+
+_EmbedCache = Dict[int, Tensor]
+
+
+class WidenModel(Module):
+    """Wide and deep message passing network.
+
+    Parameters
+    ----------
+    num_features:
+        Raw node feature dimension d0.
+    num_edge_types:
+        Size of the edge-type vocabulary **including** per-node-type
+        self-loop types (``graph.num_edge_types_with_loops``).
+    num_classes:
+        Output classes of the semi-supervised task (Eq. 10's ``c``).
+    config, seed:
+        Hyperparameters and deterministic initialization seed.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_edge_types: int,
+        num_classes: int,
+        config: WidenConfig,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rngs = spawn_rngs(seed, 6)
+        self.config = config
+        d = config.dim
+        self.project = Linear(num_features, d, bias=False, rng=rngs[0])  # G^node
+        self.edge_embedding = Embedding(num_edge_types, d, rng=rngs[1])  # G^edge
+        self.wide_pass = QueryAttention(d, num_heads=config.num_heads, rng=rngs[2])  # Eq. 3
+        self.deep_successive = SelfAttention(d, rng=rngs[3])  # Eq. 4
+        self.deep_pass = QueryAttention(d, num_heads=config.num_heads, rng=rngs[4])  # Eq. 5
+        self.fuse = Linear(2 * d, d, rng=rngs[5])  # Eq. 7
+        self.classifier = Linear(d, num_classes, bias=False, rng=rngs[0])  # C, Eq. 10
+        self.pack_dropout = Dropout(config.dropout, rng=rngs[1])
+        self.hidden_dropout = Dropout(config.dropout, rng=rngs[2])
+
+    # ------------------------------------------------------------------
+    # Embeddings
+    # ------------------------------------------------------------------
+
+    def initial_node_state(self, graph: HeteroGraph) -> np.ndarray:
+        """Embedding initialization for every node: ``v = x G^node``.
+
+        Algorithm 3 *replaces* ``v_t`` with the passing output every time a
+        node is processed, so neighbor packs consume progressively refined
+        embeddings — this table holds those current representations.  The
+        target's own pack is always recomputed from features so gradients
+        reach ``G^node``; neighbor entries enter as constants (historical
+        embeddings), which truncates backpropagation to one passing step
+        exactly as the paper's per-node update rule implies.
+
+        Rows are L2-normalized to match the scale of refined embeddings
+        (Eq. 7 normalizes every passing output), so packs never mix raw and
+        refined vectors of incomparable magnitude.
+        """
+        state = graph.features @ self.project.weight.data
+        norms = np.linalg.norm(state, axis=1, keepdims=True)
+        return state / np.maximum(norms, 1e-12)
+
+    def fresh_projection(self, node: int, graph: HeteroGraph) -> Tensor:
+        """Trainable ``v_t = x_t G^node`` for the target node itself."""
+        return ops.matmul(Tensor(graph.features[node]), self.project.weight)
+
+    def node_embedding(
+        self,
+        node: int,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+        cache: Optional[_EmbedCache] = None,
+    ) -> Tensor:
+        """Current representation ``v_i`` of a *neighbor* node.
+
+        Reads the refined embedding table when provided (the normal path);
+        falls back to a fresh feature projection otherwise.
+        """
+        node = int(node)
+        if cache is not None and node in cache:
+            return cache[node]
+        if node_state is not None:
+            embedding = Tensor(node_state[node])
+        else:
+            embedding = self.fresh_projection(node, graph)
+        if cache is not None:
+            cache[node] = embedding
+        return embedding
+
+    def edge_vector(
+        self,
+        spec: EdgeSpecLike,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+        cache: Optional[_EmbedCache] = None,
+    ) -> Tensor:
+        """Edge embedding for a plain type id, or a relay recipe (Eq. 8)."""
+        if isinstance(spec, RelayRecipe):
+            outer = self.edge_vector(spec.outer, graph, node_state, cache)
+            deleted_pack = self.node_embedding(
+                spec.deleted_node, graph, node_state, cache
+            ) * self.edge_vector(spec.deleted, graph, node_state, cache)
+            return ops.maximum(outer, deleted_pack)
+        return self.edge_embedding(np.asarray(spec))
+
+    # ------------------------------------------------------------------
+    # Message packaging (Eqs. 1-2)
+    # ------------------------------------------------------------------
+
+    def pack_wide(
+        self,
+        target: int,
+        wide: WideNeighborSet,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """``M° = PACK°(W(v_t))`` — shape ``(|W| + 1, d)``, target pack first."""
+        target_vec = self.fresh_projection(target, graph)
+        if node_state is not None:
+            neighbor_vecs = Tensor(node_state[wide.nodes])
+        else:
+            neighbor_vecs = ops.matmul(
+                Tensor(graph.features[wide.nodes]), self.project.weight
+            )
+        etypes = np.concatenate(([graph.self_loop_type(target)], wide.etypes))
+        edge_vecs = self.edge_embedding(etypes)
+        node_vecs = ops.concat(
+            [ops.reshape(target_vec, (1, self.config.dim)), neighbor_vecs], axis=0
+        )
+        return node_vecs * edge_vecs
+
+    def pack_deep(
+        self,
+        target: int,
+        deep: DeepNeighborSet,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+        cache: Optional[_EmbedCache] = None,
+    ) -> Tensor:
+        """``M▷ = PACK▷(D(v_t))`` — shape ``(|D| + 1, d)``, target pack first.
+
+        Positions whose edge was replaced by a relay recipe evaluate the
+        recipe against current parameters, so relays stay trainable.  The
+        relay-free case (every walk before its first prune) takes a fully
+        vectorized path — one projection matmul + one embedding gather —
+        which dominates WIDEN's per-epoch cost.
+        """
+        relay_positions = [
+            position for position, relay in enumerate(deep.relays)
+            if relay is not None
+        ]
+        target_vec = ops.reshape(
+            self.fresh_projection(target, graph), (1, self.config.dim)
+        )
+        if node_state is not None:
+            neighbor_vecs = Tensor(node_state[deep.nodes])
+        else:
+            neighbor_vecs = ops.matmul(
+                Tensor(graph.features[deep.nodes]), self.project.weight
+            )
+        node_vecs = ops.concat([target_vec, neighbor_vecs], axis=0)
+        etypes = np.concatenate(([graph.self_loop_type(target)], deep.etypes))
+        edge_vecs = self.edge_embedding(etypes)
+        if relay_positions:
+            # Splice relay rows into the looked-up edge matrix.  Relays are
+            # rare (one per prune), so per-row handling here stays cheap.
+            segments: List[Tensor] = []
+            cursor = 0
+            for position in relay_positions:
+                row = position + 1  # row 0 is the target's self-loop
+                if row > cursor:
+                    segments.append(ops.slice(edge_vecs, cursor, row, axis=0))
+                relay_vec = self.edge_vector(
+                    deep.relays[position], graph, node_state, cache
+                )
+                segments.append(ops.reshape(relay_vec, (1, self.config.dim)))
+                cursor = row + 1
+            if cursor < len(deep) + 1:
+                segments.append(ops.slice(edge_vecs, cursor, len(deep) + 1, axis=0))
+            edge_vecs = ops.concat(segments, axis=0)
+        return node_vecs * edge_vecs
+
+    # ------------------------------------------------------------------
+    # Message passing (Eqs. 3-7)
+    # ------------------------------------------------------------------
+
+    def forward(
+        self,
+        target: int,
+        state: NeighborState,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Optional[np.ndarray], List[np.ndarray]]:
+        """Compute ``v_t'`` for one target node.
+
+        ``node_state`` is the refined-embedding table (Algorithm 3's current
+        representations); when omitted, neighbors fall back to fresh feature
+        projections (a pure one-step pass).  Returns ``(embedding,
+        wide_attention, deep_attentions)``; the attention distributions
+        (detached numpy arrays over ``set size + 1`` packs, target first)
+        feed the active downsampler and KL trigger.
+        """
+        config = self.config
+        cache: _EmbedCache = {}
+        d = config.dim
+
+        wide_attention: Optional[np.ndarray] = None
+        if config.use_wide:
+            packs = self.pack_wide(target, state.wide, graph, node_state)
+            packs = self.pack_dropout(packs)
+            h_wide, weights = self.wide_pass(packs[0], packs)
+            wide_attention = weights.data.copy()
+        else:
+            h_wide = Tensor(np.zeros(d))
+
+        deep_attentions: List[np.ndarray] = []
+        if config.use_deep:
+            h_walks: List[Tensor] = []
+            for deep in state.deep:
+                packs = self.pack_deep(target, deep, graph, node_state, cache)
+                packs = self.pack_dropout(packs)
+                if config.use_successive:
+                    refined, _ = self.deep_successive(
+                        packs, mask=causal_mask(len(deep) + 1)
+                    )
+                else:
+                    # Table-4 ablation: deep passing degenerates to plain
+                    # attentive aggregation of the raw packs.
+                    refined = packs
+                h_walk, weights = self.deep_pass(packs[0], refined, values=packs)
+                deep_attentions.append(weights.data.copy())
+                h_walks.append(h_walk)
+            stacked = ops.stack(h_walks)
+            h_deep = ops.mean(stacked, axis=0)  # average pooling over Φ walks
+        else:
+            h_deep = Tensor(np.zeros(d))
+
+        hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=0)))
+        hidden = self.hidden_dropout(hidden)
+        embedding = F.l2_normalize(hidden, axis=-1)
+        return embedding, wide_attention, deep_attentions
+
+    def logits(self, embeddings: Tensor) -> Tensor:
+        """Class logits ``v' C`` (Eq. 10, pre-softmax)."""
+        return self.classifier(embeddings)

@@ -1,0 +1,91 @@
+"""Per-target-node neighbor state.
+
+Algorithm 3 samples each node's wide set and Φ deep sequences **once** at
+initialization (line 3) and then only ever *downsamples* them.  The trainer
+therefore keeps persistent state per target node: the current neighbor sets
+plus the attention distributions of the previous epoch, which the
+KL-divergence trigger (Eq. 9) compares against.
+
+A *signature* accompanies every stored distribution: KL is only meaningful
+when the neighbor set is unchanged between epochs ("otherwise +∞" in Eq. 9),
+so a set mutation invalidates the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph import HeteroGraph, sample_deep, sample_wide
+from repro.graph.sampling import DeepNeighborSet, WideNeighborSet
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class NeighborState:
+    """Wide + deep neighbor sets of one target node, plus trigger memory."""
+
+    wide: WideNeighborSet
+    deep: List[DeepNeighborSet]
+    prev_wide_attention: Optional[np.ndarray] = None
+    prev_wide_signature: Optional[tuple] = None
+    prev_deep_attention: List[Optional[np.ndarray]] = field(default_factory=list)
+    prev_deep_signature: List[Optional[tuple]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.prev_deep_attention:
+            self.prev_deep_attention = [None] * len(self.deep)
+        if not self.prev_deep_signature:
+            self.prev_deep_signature = [None] * len(self.deep)
+
+    def wide_signature(self) -> tuple:
+        return tuple(self.wide.nodes.tolist())
+
+    def deep_signature(self, phi: int) -> tuple:
+        deep = self.deep[phi]
+        relay_marks = tuple(relay is not None for relay in deep.relays)
+        return tuple(deep.nodes.tolist()) + relay_marks
+
+
+class NeighborStateStore:
+    """Lazily samples and caches :class:`NeighborState` per node id."""
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        num_wide: int,
+        num_deep: int,
+        num_deep_walks: int,
+        rng: SeedLike = None,
+    ) -> None:
+        self.graph = graph
+        self.num_wide = num_wide
+        self.num_deep = num_deep
+        self.num_deep_walks = num_deep_walks
+        self._rng = new_rng(rng)
+        self._states: Dict[int, NeighborState] = {}
+
+    def get(self, node: int) -> NeighborState:
+        node = int(node)
+        state = self._states.get(node)
+        if state is None:
+            state = self.sample_fresh(node)
+            self._states[node] = state
+        return state
+
+    def sample_fresh(self, node: int) -> NeighborState:
+        """Sample wide + Φ deep sets for ``node`` (no caching)."""
+        wide = sample_wide(self.graph, node, self.num_wide, rng=self._rng)
+        deep = [
+            sample_deep(self.graph, node, self.num_deep, rng=self._rng)
+            for _ in range(self.num_deep_walks)
+        ]
+        return NeighborState(wide=wide, deep=deep)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, node: int) -> bool:
+        return int(node) in self._states

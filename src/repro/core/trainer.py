@@ -1,0 +1,344 @@
+"""WIDEN's training loop — Algorithm 3 of the paper.
+
+The trainer owns the persistent neighbor states (sampled once, line 3), runs
+minibatch epochs, and after every per-node forward decides — via the
+KL-divergence trigger of Eq. 9 — whether to actively downsample that node's
+wide set (Algorithm 1) or deep sequences (Algorithm 2).
+
+Inference helpers:
+
+- :meth:`WidenTrainer.embed` — embeddings of arbitrary nodes in the training
+  graph (transductive evaluation).
+- :meth:`WidenTrainer.embed_inductive` — embeddings of nodes in a *different*
+  graph (the full graph with held-out nodes restored); neighbor sets are
+  sampled fresh, nothing is looked up by node identity, which is exactly what
+  makes WIDEN inductive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import WidenConfig
+from repro.core.model import WidenModel
+from repro.core.relay import prune_deep, shrink_wide
+from repro.core.state import NeighborState, NeighborStateStore
+from repro.graph import HeteroGraph
+from repro.optim import Adam, clip_grad_norm
+from repro.tensor import Tensor, functional as F, no_grad, ops
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+from repro.utils.timing import Timer
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch records produced by :meth:`WidenTrainer.fit`."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    wide_drops: List[int] = field(default_factory=list)
+    deep_drops: List[int] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+
+class WidenTrainer:
+    """Trains a :class:`WidenModel` on one graph (Algorithm 3)."""
+
+    def __init__(
+        self,
+        model: WidenModel,
+        graph: HeteroGraph,
+        config: Optional[WidenConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.config = config or model.config
+        sample_rng, self._shuffle_rng, self._drop_rng = spawn_rngs(seed, 3)
+        self.store = NeighborStateStore(
+            graph,
+            num_wide=self.config.num_wide,
+            num_deep=self.config.num_deep,
+            num_deep_walks=self.config.num_deep_walks,
+            rng=sample_rng,
+        )
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.history = TrainHistory()
+        self._epoch = 0
+        # Algorithm 3's current representations v_t ("replace" mode): every
+        # processed node's embedding replaces its row, so neighbors read
+        # refined embeddings.  In "project" mode neighbors are fresh feature
+        # projections and no table is kept.
+        self.node_state = (
+            model.initial_node_state(graph)
+            if self.config.embedding_mode == "replace"
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, train_nodes: np.ndarray, epochs: int) -> TrainHistory:
+        """Run ``epochs`` training epochs over ``train_nodes`` (labeled ids)."""
+        train_nodes = np.asarray(train_nodes, dtype=np.int64)
+        labels = self.graph.labels[train_nodes]
+        if (labels < 0).any():
+            raise ValueError("all training nodes must be labeled")
+        for _ in range(epochs):
+            with Timer() as timer:
+                loss, wide_drops, deep_drops = self._run_epoch(train_nodes)
+            self.history.losses.append(loss)
+            self.history.epoch_seconds.append(timer.laps[-1])
+            self.history.wide_drops.append(wide_drops)
+            self.history.deep_drops.append(deep_drops)
+            self._epoch += 1
+        return self.history
+
+    def _run_epoch(self, train_nodes: np.ndarray):
+        self.model.train()
+        self._refresh_states(train_nodes)
+        order = self._shuffle_rng.permutation(train_nodes.size)
+        shuffled = train_nodes[order]
+        batch_size = self.config.batch_size
+        total_loss = 0.0
+        total_nodes = 0
+        wide_drops = deep_drops = 0
+        for start in range(0, shuffled.size, batch_size):
+            batch = shuffled[start : start + batch_size]
+            embeddings: List[Tensor] = []
+            for node in batch:
+                state = self.store.get(node)
+                embedding, wide_att, deep_atts = self.model(
+                    int(node), state, self.graph, self.node_state
+                )
+                embeddings.append(embedding)
+                if self.node_state is not None:
+                    # Line 8 of Algorithm 3: the output replaces v_t.
+                    self.node_state[int(node)] = embedding.data
+                dropped = self._maybe_downsample(state, wide_att, deep_atts)
+                wide_drops += dropped[0]
+                deep_drops += dropped[1]
+            logits = self.model.logits(ops.stack(embeddings))
+            loss = F.cross_entropy(logits, self.graph.labels[batch])
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip > 0:
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            total_loss += loss.item() * batch.size
+            total_nodes += batch.size
+        return total_loss / max(total_nodes, 1), wide_drops, deep_drops
+
+    def _refresh_states(self, train_nodes: np.ndarray) -> None:
+        """Forward-only embedding refresh for a sample of non-training nodes.
+
+        Algorithm 3 iterates over all of V, updating every node's embedding
+        while masking unlabeled nodes from the loss.  Refreshing a random
+        ``refresh_fraction`` of the remaining nodes per epoch reproduces that
+        propagation (multi-hop information spreads through the state table)
+        at a fraction of the cost.
+        """
+        fraction = self.config.refresh_fraction
+        if self.node_state is None or fraction <= 0 or self._epoch == 0:
+            # Skip in epoch 0: every row is still the (normalized) feature
+            # projection, and the model has not learned anything to propagate.
+            return
+        others = np.setdiff1d(
+            np.arange(self.graph.num_nodes), np.asarray(train_nodes)
+        )
+        count = int(round(fraction * others.size))
+        if count == 0:
+            return
+        sample = others[self._shuffle_rng.permutation(others.size)[:count]]
+        with no_grad():
+            for node in sample:
+                state = self.store.get(int(node))
+                embedding, _, _ = self.model(int(node), state, self.graph, self.node_state)
+                self.node_state[int(node)] = embedding.data
+
+    # ------------------------------------------------------------------
+    # Active downsampling (Algorithms 1-2 + Eq. 9 trigger)
+    # ------------------------------------------------------------------
+
+    def _maybe_downsample(
+        self,
+        state: NeighborState,
+        wide_att: Optional[np.ndarray],
+        deep_atts: List[np.ndarray],
+    ):
+        config = self.config
+        wide_drops = deep_drops = 0
+
+        wide_mode = config.effective_wide_mode
+        if (
+            config.use_wide
+            and wide_mode != "off"
+            and wide_att is not None
+            and len(state.wide) > config.wide_floor
+        ):
+            # Random downsampling (Table 4) removes the KL trigger entirely.
+            trigger = "always" if wide_mode == "random" else config.trigger
+            signature = state.wide_signature()
+            if self._trigger_fires(
+                trigger,
+                state.prev_wide_attention,
+                state.prev_wide_signature,
+                wide_att,
+                signature,
+                config.wide_threshold,
+            ):
+                if wide_mode == "attentive":
+                    state.wide = shrink_wide(state.wide, wide_att)
+                else:
+                    victim = int(self._drop_rng.integers(len(state.wide)))
+                    state.wide = state.wide.drop(victim)
+                wide_drops += 1
+                state.prev_wide_attention = None
+                state.prev_wide_signature = None
+            else:
+                state.prev_wide_attention = wide_att
+                state.prev_wide_signature = signature
+
+        deep_mode = config.effective_deep_mode
+        if config.use_deep and deep_mode != "off":
+            trigger = "always" if deep_mode == "random" else config.trigger
+            for phi, att in enumerate(deep_atts):
+                deep = state.deep[phi]
+                if len(deep) <= config.deep_floor:
+                    continue
+                signature = state.deep_signature(phi)
+                if self._trigger_fires(
+                    trigger,
+                    state.prev_deep_attention[phi],
+                    state.prev_deep_signature[phi],
+                    att,
+                    signature,
+                    config.deep_threshold,
+                ):
+                    if deep_mode == "attentive":
+                        state.deep[phi] = prune_deep(deep, att, use_relay=config.use_relay)
+                    else:
+                        victim = int(self._drop_rng.integers(len(deep)))
+                        fake_att = np.ones(len(deep) + 1)
+                        fake_att[victim + 1] = 0.0  # force the random victim
+                        state.deep[phi] = prune_deep(
+                            deep, fake_att, use_relay=config.use_relay
+                        )
+                    deep_drops += 1
+                    state.prev_deep_attention[phi] = None
+                    state.prev_deep_signature[phi] = None
+                else:
+                    state.prev_deep_attention[phi] = att
+                    state.prev_deep_signature[phi] = signature
+        return wide_drops, deep_drops
+
+    def _trigger_fires(
+        self,
+        trigger: str,
+        prev_att: Optional[np.ndarray],
+        prev_signature: Optional[tuple],
+        current_att: np.ndarray,
+        current_signature: tuple,
+        threshold: float,
+    ) -> bool:
+        """Eq. 9: KL between epochs' attention distributions over the SAME
+        neighbor set; +∞ (no fire) when the set changed."""
+        if trigger == "never":
+            return False
+        if trigger == "always":
+            return True
+        if self._epoch < 1 or prev_att is None:
+            return False  # Algorithm 3 line 9: only from the second epoch on
+        if prev_signature != current_signature or prev_att.shape != current_att.shape:
+            return False  # Eq. 9's "+∞ otherwise" branch
+        return F.kl_divergence(prev_att, current_att) < threshold
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def embed(self, nodes: Sequence[int]) -> np.ndarray:
+        """Embeddings for nodes of the training graph (persistent states).
+
+        Evaluation reads the refined node-state table but never mutates it.
+        """
+        return self._embed_with(self.store, self.graph, self.node_state, nodes)
+
+    def embed_inductive(
+        self,
+        graph: HeteroGraph,
+        nodes: Sequence[int],
+        rng: SeedLike = None,
+        warmup_passes: int = 1,
+    ) -> np.ndarray:
+        """Embeddings for nodes of an *unseen* graph (fresh neighbor sets).
+
+        This is the paper's inductive protocol: the model was trained with
+        these nodes absent, and now embeds them purely from features and
+        sampled neighborhoods — no identity lookup anywhere.
+
+        ``warmup_passes`` refinement rounds are first run over the requested
+        nodes' sampled neighbors so their table entries approximate the
+        refined representations they would carry after training — the
+        streaming analogue of Algorithm 3's embedding replacement.
+        """
+        store = NeighborStateStore(
+            graph,
+            num_wide=self.config.num_wide,
+            num_deep=self.config.num_deep,
+            num_deep_walks=self.config.num_deep_walks,
+            rng=new_rng(rng),
+        )
+        if self.config.embedding_mode != "replace":
+            return self._embed_with(store, graph, None, nodes)
+        node_state = self.model.initial_node_state(graph)
+        frontier = set()
+        for node in nodes:
+            state = store.get(int(node))
+            frontier.update(state.wide.nodes.tolist())
+            for deep in state.deep:
+                frontier.update(deep.nodes.tolist())
+        frontier -= set(int(v) for v in nodes)
+        self.model.eval()
+        with no_grad():
+            for _ in range(max(0, warmup_passes)):
+                for node in sorted(frontier):
+                    state = store.get(node)
+                    embedding, _, _ = self.model(node, state, graph, node_state)
+                    node_state[node] = embedding.data
+        self.model.train()
+        return self._embed_with(store, graph, node_state, nodes)
+
+    def _embed_with(
+        self,
+        store: NeighborStateStore,
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray],
+        nodes: Sequence[int],
+    ) -> np.ndarray:
+        self.model.eval()
+        rows = []
+        with no_grad():
+            for node in nodes:
+                state = store.get(int(node))
+                embedding, _, _ = self.model(int(node), state, graph, node_state)
+                rows.append(embedding.data)
+        self.model.train()
+        return np.stack(rows)
+
+    def predict(self, embeddings: np.ndarray) -> np.ndarray:
+        """Class predictions from embeddings."""
+        with no_grad():
+            logits = self.model.logits(Tensor(embeddings))
+        return logits.data.argmax(axis=1)

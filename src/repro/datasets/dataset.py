@@ -1,0 +1,62 @@
+"""The :class:`Dataset` bundle: graph + task definition + splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.graph import HeteroGraph
+
+
+@dataclass
+class TransductiveSplit:
+    """Node-id arrays for semi-supervised transductive learning."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.train = np.asarray(self.train, dtype=np.int64)
+        self.val = np.asarray(self.val, dtype=np.int64)
+        self.test = np.asarray(self.test, dtype=np.int64)
+        overlap = (
+            set(self.train.tolist()) & set(self.val.tolist())
+            | set(self.train.tolist()) & set(self.test.tolist())
+            | set(self.val.tolist()) & set(self.test.tolist())
+        )
+        if overlap:
+            raise ValueError(f"split sets overlap on {len(overlap)} nodes")
+
+
+@dataclass
+class Dataset:
+    """A named heterogeneous graph with a node-classification task."""
+
+    name: str
+    graph: HeteroGraph
+    target_type: str
+    split: TransductiveSplit
+
+    @property
+    def num_classes(self) -> int:
+        return self.graph.num_classes
+
+    def target_nodes(self) -> np.ndarray:
+        return self.graph.nodes_of_type(self.target_type)
+
+    def statistics(self) -> Dict[str, object]:
+        """Table-1-shaped statistics including split sizes."""
+        stats = self.graph.statistics()
+        stats.update(
+            {
+                "name": self.name,
+                "target_type": self.target_type,
+                "train_nodes": int(self.split.train.size),
+                "val_nodes": int(self.split.val.size),
+                "test_nodes": int(self.split.test.size),
+            }
+        )
+        return stats

@@ -1,0 +1,109 @@
+"""Train/validation/test splits for the two evaluation protocols.
+
+- :func:`make_transductive_split` mirrors Table 1: a small labeled training
+  set, a validation set, and a large test set, all drawn from the primary
+  node type with per-class stratification.
+- :func:`make_inductive_split` mirrors Section 4.3's inductive protocol:
+  20% of labeled nodes are *removed from the graph* during training and the
+  model must embed them afterwards from their (restored) neighborhoods.
+- :func:`label_fraction` subsamples the training set to 25/50/75/100%
+  supervision strengths (Table 2's columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.datasets.dataset import Dataset, TransductiveSplit
+from repro.graph import HeteroGraph
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class InductiveSplit:
+    """The inductive protocol's artifacts.
+
+    ``train_graph`` is the original graph with holdout nodes removed;
+    ``train_mapping[new_id] == old_id`` maps its ids back; ``holdout`` are
+    the original ids of the removed labeled nodes (the inductive test set);
+    ``train_nodes`` are *train-graph-local* ids of labeled training nodes.
+    """
+
+    train_graph: HeteroGraph
+    train_mapping: np.ndarray
+    holdout: np.ndarray
+    train_nodes: np.ndarray
+
+
+def make_transductive_split(
+    graph: HeteroGraph,
+    target_type: str,
+    train_per_class: int,
+    val_per_class: int,
+    rng: SeedLike = None,
+) -> TransductiveSplit:
+    """Stratified split of labeled target-type nodes."""
+    rng = new_rng(rng)
+    targets = graph.nodes_of_type(target_type)
+    labeled = targets[graph.labels[targets] >= 0]
+    train_parts, val_parts, test_parts = [], [], []
+    for cls in range(graph.num_classes):
+        members = labeled[graph.labels[labeled] == cls]
+        members = members[rng.permutation(members.size)]
+        need = train_per_class + val_per_class
+        if members.size <= need:
+            raise ValueError(
+                f"class {cls} has only {members.size} labeled nodes; "
+                f"need more than {need} for the requested split"
+            )
+        train_parts.append(members[:train_per_class])
+        val_parts.append(members[train_per_class:need])
+        test_parts.append(members[need:])
+    return TransductiveSplit(
+        train=np.concatenate(train_parts),
+        val=np.concatenate(val_parts),
+        test=np.concatenate(test_parts),
+    )
+
+
+def label_fraction(
+    train_nodes: np.ndarray, fraction: float, rng: SeedLike = None
+) -> np.ndarray:
+    """Subsample the training set to ``fraction`` of its size (>= 1 node)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = new_rng(rng)
+    train_nodes = np.asarray(train_nodes)
+    keep = max(1, int(round(fraction * train_nodes.size)))
+    return train_nodes[rng.permutation(train_nodes.size)[:keep]]
+
+
+def make_inductive_split(
+    dataset: Dataset,
+    holdout_fraction: float = 0.2,
+    rng: SeedLike = None,
+) -> InductiveSplit:
+    """Hold out ``holdout_fraction`` of labeled nodes, removing them from the
+    training graph entirely (nodes *and* incident edges)."""
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    rng = new_rng(rng)
+    graph = dataset.graph
+    labeled = graph.labeled_nodes()
+    count = max(1, int(round(holdout_fraction * labeled.size)))
+    holdout = labeled[rng.permutation(labeled.size)[:count]]
+    train_graph, mapping = graph.remove_nodes(holdout)
+    # Remaining labeled nodes, in train-graph-local ids.
+    old_to_new = np.full(graph.num_nodes, -1, dtype=np.int64)
+    old_to_new[mapping] = np.arange(mapping.size)
+    remaining = np.setdiff1d(labeled, holdout)
+    train_nodes = old_to_new[remaining]
+    return InductiveSplit(
+        train_graph=train_graph,
+        train_mapping=mapping,
+        holdout=holdout,
+        train_nodes=train_nodes,
+    )

@@ -1,0 +1,110 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for Figure 3.
+
+Implements the reference algorithm: perplexity-calibrated Gaussian
+affinities in the input space (binary search per point), Student-t
+affinities in the embedding, KL-divergence gradient descent with momentum
+and early exaggeration.  Exact O(n²) — entirely adequate at the ≤2k points
+the visualization uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _pairwise_squared_distances(x: np.ndarray) -> np.ndarray:
+    norms = (x**2).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_probabilities(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Row-wise conditional probabilities with the requested perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = -np.inf, np.inf
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf  # exclude self
+        for _ in range(max_iter):
+            p = np.exp(-row * beta)
+            total = p.sum()
+            if total <= 0:
+                entropy = 0.0
+                p = np.zeros_like(p)
+            else:
+                p /= total
+                nonzero = p[p > 0]
+                entropy = float(-(nonzero * np.log(nonzero)).sum())
+            error = entropy - target_entropy
+            if abs(error) < tol:
+                break
+            if error > 0:  # entropy too high -> sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == -np.inf else (beta + beta_low) / 2.0
+        probabilities[i] = p
+    return probabilities
+
+
+def tsne(
+    x: np.ndarray,
+    num_components: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 300,
+    learning_rate: float = 100.0,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Embed rows of ``x`` into ``num_components`` dimensions.
+
+    Returns an ``(n, num_components)`` array.  Initialization is PCA (the
+    modern default) perturbed with a little Gaussian noise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError(f"t-SNE needs at least 3 points, got {n}")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = new_rng(seed)
+
+    # Symmetrized joint probabilities with early exaggeration.
+    conditional = _binary_search_probabilities(
+        _pairwise_squared_distances(x), perplexity
+    )
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    # PCA initialization.
+    centered = x - x.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    y = centered @ vt[:num_components].T
+    y = y / (np.abs(y).max() + 1e-12) * 1e-2
+    y += rng.normal(0.0, 1e-4, size=y.shape)
+
+    velocity = np.zeros_like(y)
+    exaggeration = 4.0
+    for iteration in range(iterations):
+        p = joint * exaggeration if iteration < iterations // 4 else joint
+        d2 = _pairwise_squared_distances(y)
+        q_unnorm = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q_unnorm, 0.0)
+        q = np.maximum(q_unnorm / q_unnorm.sum(), 1e-12)
+        # Gradient: 4 Σ_j (p_ij - q_ij) q_unnorm_ij (y_i - y_j)
+        coefficient = (p - q) * q_unnorm
+        grad = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) @ y - coefficient @ y
+        )
+        momentum = 0.5 if iteration < 50 else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

@@ -1,0 +1,141 @@
+"""A validating, incremental builder for :class:`HeteroGraph`.
+
+Usage::
+
+    builder = GraphBuilder()
+    papers = builder.add_nodes("paper", 100)
+    authors = builder.add_nodes("author", 40)
+    builder.add_edge_type("paper-author")
+    builder.add_edges("paper-author", papers[:40], authors, symmetric=True)
+    graph = builder.finalize(features=x, labels=y, num_classes=3)
+
+``add_nodes`` returns the global id range allocated to the new nodes, so
+dataset generators can wire edges without tracking offsets themselves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+
+
+class GraphBuilder:
+    """Accumulates typed nodes and edges, validates, and emits a graph."""
+
+    def __init__(self) -> None:
+        self._node_type_names: List[str] = []
+        self._node_type_of_range: List[int] = []  # parallel to ranges
+        self._range_starts: List[int] = []
+        self._range_sizes: List[int] = []
+        self._num_nodes = 0
+        self._edge_type_names: List[str] = []
+        self._src: List[np.ndarray] = []
+        self._dst: List[np.ndarray] = []
+        self._etype: List[np.ndarray] = []
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def add_nodes(self, type_name: str, count: int) -> np.ndarray:
+        """Allocate ``count`` nodes of ``type_name``; return their global ids."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if type_name not in self._node_type_names:
+            self._node_type_names.append(type_name)
+        type_id = self._node_type_names.index(type_name)
+        start = self._num_nodes
+        self._range_starts.append(start)
+        self._range_sizes.append(count)
+        self._node_type_of_range.append(type_id)
+        self._num_nodes += count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def add_edge_type(self, type_name: str) -> int:
+        """Register an edge type; returns its id.  Idempotent."""
+        if type_name not in self._edge_type_names:
+            self._edge_type_names.append(type_name)
+        return self._edge_type_names.index(type_name)
+
+    def add_edges(
+        self,
+        edge_type: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        symmetric: bool = True,
+    ) -> None:
+        """Add edges of ``edge_type``; ``symmetric`` also stores the reverse.
+
+        All node ids must already be allocated.  Self-loop edges are rejected
+        — WIDEN models self-loops through dedicated per-node-type embeddings,
+        never as explicit graph edges.
+        """
+        etype_id = self.add_edge_type(edge_type)
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError(f"src/dst shapes differ: {src.shape} vs {dst.shape}")
+        if src.size == 0:
+            return
+        if src.min() < 0 or dst.min() < 0 or max(src.max(), dst.max()) >= self._num_nodes:
+            raise IndexError(
+                f"edge endpoints out of range [0, {self._num_nodes})"
+            )
+        if np.any(src == dst):
+            raise ValueError("explicit self-loop edges are not allowed")
+        self._src.append(src)
+        self._dst.append(dst)
+        self._etype.append(np.full(src.shape, etype_id, dtype=np.int64))
+        if symmetric:
+            self._src.append(dst)
+            self._dst.append(src)
+            self._etype.append(np.full(src.shape, etype_id, dtype=np.int64))
+
+    def finalize(
+        self,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        num_classes: int = 0,
+    ) -> HeteroGraph:
+        """Validate accumulated state and construct the graph."""
+        if self._num_nodes == 0:
+            raise ValueError("graph has no nodes")
+        node_types = np.empty(self._num_nodes, dtype=np.int64)
+        for start, size, type_id in zip(
+            self._range_starts, self._range_sizes, self._node_type_of_range
+        ):
+            node_types[start : start + size] = type_id
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            if features.shape[0] != self._num_nodes:
+                raise ValueError(
+                    f"features rows ({features.shape[0]}) != nodes ({self._num_nodes})"
+                )
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (self._num_nodes,):
+                raise ValueError(
+                    f"labels shape {labels.shape} != ({self._num_nodes},)"
+                )
+            observed = labels[labels >= 0]
+            if observed.size and num_classes <= observed.max():
+                raise ValueError(
+                    f"num_classes={num_classes} too small for max label {observed.max()}"
+                )
+        src = np.concatenate(self._src) if self._src else np.empty(0, dtype=np.int64)
+        dst = np.concatenate(self._dst) if self._dst else np.empty(0, dtype=np.int64)
+        etype = np.concatenate(self._etype) if self._etype else np.empty(0, dtype=np.int64)
+        return HeteroGraph(
+            node_types=node_types,
+            src=src,
+            dst=dst,
+            edge_types=etype,
+            node_type_names=self._node_type_names,
+            edge_type_names=self._edge_type_names,
+            features=features,
+            labels=labels,
+            num_classes=num_classes,
+        )

@@ -1,0 +1,244 @@
+"""The :class:`HeteroGraph` data structure.
+
+A heterogeneous graph (Definition 1 of the paper) with typed nodes and typed
+edges.  Adjacency is stored in CSR form for O(1) neighborhood slicing — the
+access pattern that dominates neighbor sampling and random walks.  Edge types
+are stored aligned with the CSR ``indices`` array so a neighbor lookup returns
+``(neighbor_ids, edge_types)`` in one slice.
+
+Alongside the *real* edge types, the graph allocates one **self-loop edge
+type per node type** — WIDEN learns a self-loop edge embedding ``e_{t,t}``
+between nodes of the same type (Section 3.1), and baselines reuse the same
+vocabulary.  ``num_edge_types`` counts real types only;
+``num_edge_types_with_loops`` includes the self-loop types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class HeteroGraph:
+    """Immutable typed graph with CSR adjacency.
+
+    Construct via :class:`~repro.graph.builder.GraphBuilder`; the raw
+    constructor expects already-validated arrays.
+
+    Parameters
+    ----------
+    node_types:
+        ``(n,)`` int array; ``node_types[i]`` indexes into ``node_type_names``.
+    src, dst, edge_types:
+        Parallel ``(m,)`` int arrays, one entry per *directed* edge.
+        Undirected graphs store both directions.
+    node_type_names, edge_type_names:
+        Human-readable names; positions define the integer encodings.
+    features:
+        Optional ``(n, d0)`` float feature matrix.
+    labels:
+        Optional ``(n,)`` int labels; ``-1`` marks unlabeled nodes.
+    num_classes:
+        Number of distinct classes among labeled nodes.
+    """
+
+    def __init__(
+        self,
+        node_types: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        edge_types: np.ndarray,
+        node_type_names: Sequence[str],
+        edge_type_names: Sequence[str],
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        num_classes: int = 0,
+    ) -> None:
+        self.node_types = np.asarray(node_types, dtype=np.int64)
+        self.num_nodes = int(self.node_types.shape[0])
+        self.node_type_names = list(node_type_names)
+        self.edge_type_names = list(edge_type_names)
+        self.num_node_types = len(self.node_type_names)
+        self.num_edge_types = len(self.edge_type_names)
+        self.features = None if features is None else np.asarray(features, dtype=np.float64)
+        self.labels = (
+            np.full(self.num_nodes, -1, dtype=np.int64)
+            if labels is None
+            else np.asarray(labels, dtype=np.int64)
+        )
+        self.num_classes = int(num_classes)
+
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        edge_types = np.asarray(edge_types, dtype=np.int64)
+        self.num_edges = int(src.shape[0])
+        # Build CSR: sort edges by source, then cumulative counts.
+        order = np.argsort(src, kind="stable")
+        sorted_src = src[order]
+        self.indices = dst[order]
+        self.edge_type_of = edge_types[order]
+        counts = np.bincount(sorted_src, minlength=self.num_nodes)
+        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        # Keep COO around for adjacency-matrix construction.
+        self._src = sorted_src
+
+    # ------------------------------------------------------------------
+    # Self-loop edge-type vocabulary (one per node type)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edge_types_with_loops(self) -> int:
+        """Real edge types plus one self-loop type per node type."""
+        return self.num_edge_types + self.num_node_types
+
+    def self_loop_type(self, node: int) -> int:
+        """Edge-type id of the self-loop for ``node``'s node type."""
+        return self.num_edge_types + int(self.node_types[node])
+
+    def self_loop_types(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`self_loop_type`."""
+        return self.num_edge_types + self.node_types[np.asarray(nodes)]
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+
+    def neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, edge_types)`` of ``node``'s out-edges."""
+        start, stop = self.indptr[node], self.indptr[node + 1]
+        return self.indices[start:stop], self.edge_type_of[start:stop]
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return np.diff(self.indptr)
+
+    def nodes_of_type(self, type_name: str) -> np.ndarray:
+        """All node ids whose type is ``type_name``."""
+        type_id = self.node_type_names.index(type_name)
+        return np.flatnonzero(self.node_types == type_id)
+
+    def edge_type_id(self, type_name: str) -> int:
+        return self.edge_type_names.index(type_name)
+
+    def labeled_nodes(self) -> np.ndarray:
+        return np.flatnonzero(self.labels >= 0)
+
+    # ------------------------------------------------------------------
+    # Matrix views (baselines)
+    # ------------------------------------------------------------------
+
+    def adjacency(
+        self, edge_type: Optional[int] = None, add_self_loops: bool = False
+    ) -> sp.csr_matrix:
+        """Sparse adjacency, optionally restricted to one edge type.
+
+        ``add_self_loops`` adds the identity (GCN's ``A + I``).
+        """
+        if edge_type is None:
+            mask = slice(None)
+        else:
+            mask = self.edge_type_of == edge_type
+        src = self._src[mask]
+        dst = self.indices[mask]
+        data = np.ones(len(src))
+        adj = sp.csr_matrix(
+            (data, (src, dst)), shape=(self.num_nodes, self.num_nodes)
+        )
+        # Duplicate (parallel) edges collapse to weight >= 1; clip to binary.
+        adj.data = np.minimum(adj.data, 1.0)
+        if add_self_loops:
+            adj = adj + sp.eye(self.num_nodes, format="csr")
+        return adj
+
+    def normalized_adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
+        """Symmetric GCN normalization ``D^-1/2 (A + I) D^-1/2``."""
+        adj = self.adjacency(add_self_loops=add_self_loops)
+        degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
+        d_mat = sp.diags(inv_sqrt)
+        return (d_mat @ adj @ d_mat).tocsr()
+
+    # ------------------------------------------------------------------
+    # Subgraphs (inductive protocol, partition training, scalability sweep)
+    # ------------------------------------------------------------------
+
+    def subgraph(self, keep: np.ndarray) -> Tuple["HeteroGraph", np.ndarray]:
+        """Induced subgraph on node set ``keep``.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[new_id] == old_id``.
+        Features and labels are carried over; edges with either endpoint
+        outside ``keep`` are dropped.
+        """
+        keep = np.unique(np.asarray(keep, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self.num_nodes):
+            raise IndexError("subgraph node ids out of range")
+        new_id = np.full(self.num_nodes, -1, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size)
+        edge_keep = (new_id[self._src] >= 0) & (new_id[self.indices] >= 0)
+        sub = HeteroGraph(
+            node_types=self.node_types[keep],
+            src=new_id[self._src[edge_keep]],
+            dst=new_id[self.indices[edge_keep]],
+            edge_types=self.edge_type_of[edge_keep],
+            node_type_names=self.node_type_names,
+            edge_type_names=self.edge_type_names,
+            features=None if self.features is None else self.features[keep],
+            labels=self.labels[keep],
+            num_classes=self.num_classes,
+        )
+        return sub, keep
+
+    def remove_nodes(self, drop: np.ndarray) -> Tuple["HeteroGraph", np.ndarray]:
+        """Complement of :meth:`subgraph`: drop ``drop``, keep the rest."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        mask[np.asarray(drop, dtype=np.int64)] = False
+        return self.subgraph(np.flatnonzero(mask))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, object]:
+        """Dataset statistics in the shape of the paper's Table 1."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_node_types": self.num_node_types,
+            "num_edges": self.num_edges,
+            "num_edge_types": self.num_edge_types,
+            "num_features": 0 if self.features is None else self.features.shape[1],
+            "num_classes": self.num_classes,
+            "nodes_per_type": {
+                name: int((self.node_types == i).sum())
+                for i, name in enumerate(self.node_type_names)
+            },
+            "edges_per_type": {
+                name: int((self.edge_type_of == i).sum())
+                for i, name in enumerate(self.edge_type_names)
+            },
+        }
+
+    def to_networkx(self):
+        """Export to a ``networkx.MultiDiGraph`` (testing/visualization aid)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for node in range(self.num_nodes):
+            graph.add_node(node, node_type=self.node_type_names[self.node_types[node]])
+        for node in range(self.num_nodes):
+            neighbors, etypes = self.neighbors(node)
+            for neighbor, etype in zip(neighbors, etypes):
+                graph.add_edge(node, int(neighbor), edge_type=self.edge_type_names[etype])
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"HeteroGraph(nodes={self.num_nodes} ({self.num_node_types} types), "
+            f"edges={self.num_edges} ({self.num_edge_types} types), "
+            f"classes={self.num_classes})"
+        )

@@ -1,0 +1,118 @@
+"""Neighbor sampling: wide sets (Definition 2) and deep walks (Definition 3).
+
+Both samplers return small dataclasses holding parallel arrays of global node
+ids and edge types.  WIDEN's neighbor state mutates *copies* of these during
+downsampling; the samplers themselves are pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.random_walk import random_walk
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class WideNeighborSet:
+    """Sampled first-order neighborhood W(v_t) of a target node.
+
+    ``nodes[n]`` is the global id of local-index-``n`` neighbor; ``etypes[n]``
+    the type of the edge connecting it to the target.  Local indexes are
+    implicit array positions (the paper's ``(n, i)`` tuples).
+    """
+
+    target: int
+    nodes: np.ndarray
+    etypes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        self.etypes = np.asarray(self.etypes, dtype=np.int64)
+        if self.nodes.shape != self.etypes.shape:
+            raise ValueError("nodes/etypes length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.nodes.shape[0])
+
+    def drop(self, local_index: int) -> "WideNeighborSet":
+        """Return a copy without the neighbor at ``local_index`` (Alg. 1 core)."""
+        if not 0 <= local_index < len(self):
+            raise IndexError(f"local index {local_index} out of range 0..{len(self)-1}")
+        keep = np.arange(len(self)) != local_index
+        return WideNeighborSet(self.target, self.nodes[keep], self.etypes[keep])
+
+
+@dataclass
+class DeepNeighborSet:
+    """A deep random-walk neighbor sequence D(v_t).
+
+    ``nodes[s]`` is the s-th walk node (target excluded); ``etypes[s]`` types
+    the edge to its predecessor (the target for ``s == 0``).  ``relays[s]``
+    is ``None`` for ordinary edges, or a *relay recipe* — the list of message
+    packs absorbed into a contextualized relay edge during pruning (Eq. 8).
+    Each recipe entry is a ``(node_id, etype, inner_relays)`` tuple so the
+    relay edge can be recomputed from current embeddings every forward pass,
+    keeping it trainable.
+    """
+
+    target: int
+    nodes: np.ndarray
+    etypes: np.ndarray
+    relays: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        self.etypes = np.asarray(self.etypes, dtype=np.int64)
+        if self.nodes.shape != self.etypes.shape:
+            raise ValueError("nodes/etypes length mismatch")
+        if not self.relays:
+            self.relays = [None] * len(self.nodes)
+        if len(self.relays) != len(self.nodes):
+            raise ValueError("relays length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.nodes.shape[0])
+
+
+def sample_wide(
+    graph: HeteroGraph,
+    target: int,
+    num_wide: int,
+    rng: SeedLike = None,
+) -> WideNeighborSet:
+    """Uniformly sample up to ``num_wide`` first-order neighbors of ``target``.
+
+    Sampling is *without replacement* when the degree allows it, and with
+    replacement otherwise (the GraphSAGE convention the paper builds on), so
+    the returned set always has ``min(num_wide, 1) <= len <= num_wide`` except
+    for isolated nodes which yield an empty set.
+    """
+    if num_wide < 1:
+        raise ValueError(f"num_wide must be >= 1, got {num_wide}")
+    rng = new_rng(rng)
+    neighbors, etypes = graph.neighbors(target)
+    if neighbors.size == 0:
+        return WideNeighborSet(target, np.empty(0, np.int64), np.empty(0, np.int64))
+    if neighbors.size >= num_wide:
+        pick = rng.choice(neighbors.size, size=num_wide, replace=False)
+    else:
+        pick = rng.choice(neighbors.size, size=num_wide, replace=True)
+    return WideNeighborSet(target, neighbors[pick], etypes[pick])
+
+
+def sample_deep(
+    graph: HeteroGraph,
+    target: int,
+    num_deep: int,
+    rng: SeedLike = None,
+) -> DeepNeighborSet:
+    """Sample one deep neighbor sequence: a random walk of length ``num_deep``."""
+    if num_deep < 1:
+        raise ValueError(f"num_deep must be >= 1, got {num_deep}")
+    nodes, etypes = random_walk(graph, target, num_deep, rng=rng)
+    return DeepNeighborSet(target, nodes, etypes)

@@ -1,0 +1,116 @@
+"""Core layers: linear projection, embedding table, dropout, containers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Linear(Module):
+    """Affine map ``x W + b`` with row-vector convention (as in the paper)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng=rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table of ``num_embeddings`` vectors of size ``dim``.
+
+    Used for edge-type embeddings (``G^edge`` in the paper) and for
+    transductive node-ID embeddings in Node2Vec.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            init.xavier_uniform((num_embeddings, dim), rng=rng), name="embedding"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return ops.embedding_lookup(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.data.shape) < keep) / keep
+        return ops.dropout_mask(x, mask)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = self.register_modules("layers", list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)

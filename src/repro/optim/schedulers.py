@@ -1,0 +1,46 @@
+"""Learning-rate schedulers operating on an :class:`Optimizer` in place."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizers import Optimizer
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        fraction = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * fraction)
+        )
+        return self.optimizer.lr

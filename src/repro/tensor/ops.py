@@ -1,0 +1,420 @@
+"""Primitive differentiable operations on :class:`~repro.tensor.Tensor`.
+
+Every function here takes tensors (or values coercible to tensors), computes
+the forward result with numpy, and registers a backward closure via
+``Tensor.from_op``.  Broadcasting in elementwise ops is handled by
+:func:`_unbroadcast`, which sums a gradient back down to a parent's shape.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad, a.data.shape))
+        b.accumulate_grad(_unbroadcast(grad, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad, a.data.shape))
+        b.accumulate_grad(_unbroadcast(-grad, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad * b.data, a.data.shape))
+        b.accumulate_grad(_unbroadcast(grad * a.data, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="mul")
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad / b.data, a.data.shape))
+        b.accumulate_grad(_unbroadcast(-grad * a.data / (b.data**2), b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="div")
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(-grad)
+
+    return Tensor.from_op(-a.data, (a,), backward, name="neg")
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data**exponent
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor.from_op(out_data, (a,), backward, name="power")
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * out_data)
+
+    return Tensor.from_op(out_data, (a,), backward, name="exp")
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad / a.data)
+
+    return Tensor.from_op(out_data, (a,), backward, name="log")
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * 0.5 / out_data)
+
+    return Tensor.from_op(out_data, (a,), backward, name="sqrt")
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * (1.0 - out_data**2))
+
+    return Tensor.from_op(out_data, (a,), backward, name="tanh")
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    # Numerically stable split on the sign of the input.
+    out_data = np.where(
+        a.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(a.data, 0, None))),
+        np.exp(np.clip(a.data, None, 0)) / (1.0 + np.exp(np.clip(a.data, None, 0))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return Tensor.from_op(out_data, (a,), backward, name="sigmoid")
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(out_data, (a,), backward, name="relu")
+
+
+def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU, used by the GAT baseline's attention logits."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    slope = float(negative_slope)
+    out_data = np.where(mask, a.data, slope * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * np.where(mask, 1.0, slope))
+
+    return Tensor.from_op(out_data, (a,), backward, name="leaky_relu")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max of two tensors (relay-edge maxpool, Eq. 8 in paper).
+
+    Ties route the gradient to the first argument, matching numpy's
+    ``np.maximum`` forward tie-breaking being irrelevant for values but
+    needing a deterministic choice for gradients.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    take_a = a.data >= b.data
+    out_data = np.where(take_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad * take_a, a.data.shape))
+        b.accumulate_grad(_unbroadcast(grad * ~take_a, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="maximum")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+
+def _expand_reduced(grad: np.ndarray, shape: tuple, axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(grad, shape).copy() if keepdims or grad.shape != shape else grad
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(ax % len(shape) for ax in axes)
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape).copy()
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors numpy
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_expand_reduced(grad, a.data.shape, axis, keepdims))
+
+    return Tensor.from_op(out_data, (a,), backward, name="sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_expand_reduced(grad, a.data.shape, axis, keepdims) / count)
+
+    return Tensor.from_op(out_data, (a,), backward, name="mean")
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors numpy
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded = a.data.max(axis=axis, keepdims=True)
+    mask = a.data == expanded
+    # Split ties evenly so the gradient check stays exact.
+    counts = mask.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
+        a.accumulate_grad(grad_full * mask / counts)
+
+    return Tensor.from_op(out_data, (a,), backward, name="max")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra & shape manipulation
+# ----------------------------------------------------------------------
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                # out = a @ b with vector b: grad_a[..., i, j] = grad[..., i] * b[j]
+                grad_a = (
+                    grad * b.data
+                    if a.data.ndim == 1
+                    else np.expand_dims(grad, -1) * b.data
+                )
+            else:
+                grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            if a.data.ndim == 1 and grad_a.ndim > 1:
+                grad_a = grad_a.sum(axis=tuple(range(grad_a.ndim - 1)))
+            a.accumulate_grad(_unbroadcast(grad_a, a.data.shape))
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                grad_b = np.outer(a.data, grad) if b.data.ndim == 2 else a.data * grad
+            elif b.data.ndim == 1:
+                # grad_b[j] = sum over leading dims of a[..., j] * grad[...]
+                grad_b = (a.data * np.expand_dims(grad, -1)).reshape(-1, b.data.shape[0]).sum(axis=0)
+            else:
+                grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            b.accumulate_grad(_unbroadcast(grad_b, b.data.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="matmul")
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(np.transpose(grad, inverse))
+
+    return Tensor.from_op(out_data, (a,), backward, name="transpose")
+
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad.reshape(a.data.shape))
+
+    return Tensor.from_op(out_data, (a,), backward, name="reshape")
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (the paper's ``[·;·]`` and ``∥``)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [builtins.slice(None)] * grad.ndim
+            index[axis] = builtins.slice(start, stop)
+            tensor.accumulate_grad(grad[tuple(index)])
+
+    return Tensor.from_op(out_data, tuple(tensors), backward, name="concat")
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for tensor, slab in zip(tensors, slabs):
+            # np.ascontiguousarray promotes 0-d slabs to 1-d; reshape instead.
+            tensor.accumulate_grad(np.array(slab).reshape(tensor.data.shape))
+
+    return Tensor.from_op(out_data, tuple(tensors), backward, name="stack")
+
+
+def take(a, index) -> Tensor:
+    """Differentiable indexing/slicing (``a[index]``).
+
+    Supports anything numpy's basic and integer-array indexing supports; the
+    backward pass scatter-adds the gradient into the indexed positions, which
+    correctly handles repeated indices (embedding lookups).
+    """
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_full = np.zeros_like(a.data)
+        np.add.at(grad_full, index, grad)
+        a.accumulate_grad(grad_full)
+
+    return Tensor.from_op(out_data, (a,), backward, name="take")
+
+
+def embedding_lookup(weight, indices: np.ndarray) -> Tensor:
+    """Gather rows ``weight[indices]`` with scatter-add backward.
+
+    ``indices`` is a plain integer ndarray (it is data, never differentiated).
+    """
+    weight = as_tensor(weight)
+    indices = np.asarray(indices)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_weight = np.zeros_like(weight.data)
+        np.add.at(grad_weight, indices, grad)
+        weight.accumulate_grad(grad_weight)
+
+    return Tensor.from_op(out_data, (weight,), backward, name="embedding_lookup")
+
+
+def slice(a, start: int, stop: int, axis: int = 0) -> Tensor:  # noqa: A001
+    """Contiguous slice along one axis (cheaper backward than :func:`take`)."""
+    a = as_tensor(a)
+    index = [builtins.slice(None)] * a.data.ndim
+    index[axis] = builtins.slice(start, stop)
+    index = tuple(index)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_full = np.zeros_like(a.data)
+        grad_full[index] = grad
+        a.accumulate_grad(grad_full)
+
+    return Tensor.from_op(out_data, (a,), backward, name="slice")
+
+
+def spmm(matrix, dense) -> Tensor:
+    """Sparse-constant @ dense-tensor product (GCN-style propagation).
+
+    ``matrix`` is a scipy sparse matrix treated as a constant (adjacency
+    structure is data, not a parameter); gradients flow only to ``dense``.
+    """
+    dense = as_tensor(dense)
+    out_data = np.asarray(matrix @ dense.data)
+    transposed = matrix.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        dense.accumulate_grad(np.asarray(transposed @ grad))
+
+    return Tensor.from_op(out_data, (dense,), backward, name="spmm")
+
+
+def dropout_mask(a, mask: np.ndarray) -> Tensor:
+    """Apply a precomputed (already scaled) dropout mask."""
+    a = as_tensor(a)
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(out_data, (a,), backward, name="dropout")

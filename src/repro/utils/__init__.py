@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling, timing, run logging."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timing import Timer, time_call
+
+__all__ = ["RngMixin", "new_rng", "spawn_rngs", "Timer", "time_call"]

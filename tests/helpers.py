@@ -1,0 +1,51 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numeric_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. input ``wrt``."""
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[wrt])
+    flat = base[wrt].reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn(*[Tensor(b) for b in base]).item()
+        flat[i] = original - eps
+        low = fn(*[Tensor(b) for b in base]).item()
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-6,
+    rtol: float = 1e-5,
+) -> None:
+    """Assert autograd gradients of scalar ``fn`` match central differences."""
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    assert out.data.size == 1, "gradient check requires a scalar output"
+    out.backward()
+    for index, tensor in enumerate(tensors):
+        expected = numeric_grad(fn, inputs, wrt=index)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {index}",
+        )

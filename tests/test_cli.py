@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_stats_single_dataset(self, capsys):
+        assert main(["stats", "acm", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "acm:" in out
+        assert "classes" in out
+
+    def test_stats_all_datasets(self, capsys):
+        assert main(["stats", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        for name in ("acm", "dblp", "yelp"):
+            assert f"{name}:" in out
+
+    def test_train_reports_score(self, capsys):
+        assert main(["train", "acm", "--epochs", "2", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "micro-F1" in out
+        assert "s/epoch" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["stats", "imaginary"])

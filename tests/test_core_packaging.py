@@ -1,0 +1,244 @@
+"""Tests for WIDEN's message packaging and forward pass (Eqs. 1-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WidenConfig, WidenModel
+from repro.core.relay import RelayRecipe
+from repro.core.state import NeighborState, NeighborStateStore
+from repro.datasets import make_acm
+from repro.graph import sample_deep, sample_wide
+from repro.graph.sampling import DeepNeighborSet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_acm(seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph(dataset):
+    return dataset.graph
+
+
+def make_model(graph, **overrides):
+    config = WidenConfig(dim=16, num_wide=5, num_deep=4, num_deep_walks=2, **overrides)
+    return WidenModel(
+        graph.features.shape[1],
+        graph.num_edge_types_with_loops,
+        graph.num_classes,
+        config,
+        seed=0,
+    )
+
+
+class TestPackWide:
+    def test_shape_and_first_row_is_target(self, graph):
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        wide = sample_wide(graph, target, 5, rng=0)
+        packs = model.pack_wide(target, wide, graph)
+        assert packs.shape == (len(wide) + 1, 16)
+        # Row 0 must be v_t ⊙ e_{t,t} with the self-loop edge embedding.
+        v_t = graph.features[target] @ model.project.weight.data
+        e_tt = model.edge_embedding.weight.data[graph.self_loop_type(target)]
+        np.testing.assert_allclose(packs.data[0], v_t * e_tt, atol=1e-12)
+
+    def test_neighbor_rows_use_connecting_edge_type(self, graph):
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        wide = sample_wide(graph, target, 4, rng=1)
+        packs = model.pack_wide(target, wide, graph)
+        for n in range(len(wide)):
+            v_n = graph.features[wide.nodes[n]] @ model.project.weight.data
+            e_nt = model.edge_embedding.weight.data[wide.etypes[n]]
+            np.testing.assert_allclose(packs.data[n + 1], v_n * e_nt, atol=1e-12)
+
+    def test_empty_wide_set_gives_target_only(self, graph):
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        wide = sample_wide(graph, target, 3, rng=0).drop(0).drop(0).drop(0)
+        packs = model.pack_wide(target, wide, graph)
+        assert packs.shape == (1, 16)
+
+    def test_gradients_flow_to_projection_and_edges(self, graph):
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        wide = sample_wide(graph, target, 4, rng=0)
+        packs = model.pack_wide(target, wide, graph)
+        packs.sum().backward()
+        assert model.project.weight.grad is not None
+        assert model.edge_embedding.weight.grad is not None
+        # Only the used edge-type rows receive gradient.
+        used = set(wide.etypes.tolist()) | {graph.self_loop_type(target)}
+        grad_rows = np.flatnonzero(np.abs(model.edge_embedding.weight.grad).sum(axis=1))
+        assert set(grad_rows.tolist()) <= used
+
+
+class TestPackDeep:
+    def test_shape(self, graph):
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        deep = sample_deep(graph, target, 4, rng=0)
+        packs = model.pack_deep(target, deep, graph)
+        assert packs.shape == (len(deep) + 1, 16)
+
+    def test_first_step_edge_links_to_target(self, graph):
+        """e_{1,0} = e_{1,t}: the first pack uses the edge from the walk's
+        first node back to the target."""
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        deep = sample_deep(graph, target, 4, rng=0)
+        packs = model.pack_deep(target, deep, graph)
+        v_1 = graph.features[deep.nodes[0]] @ model.project.weight.data
+        e_1t = model.edge_embedding.weight.data[deep.etypes[0]]
+        np.testing.assert_allclose(packs.data[1], v_1 * e_1t, atol=1e-12)
+
+    def test_relay_recipe_evaluates_eq8(self, graph):
+        """A relay edge must equal maxpool(e_outer, v_deleted ⊙ e_deleted)."""
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        deep = sample_deep(graph, target, 4, rng=0)
+        deleted_node = int(deep.nodes[1])
+        recipe = RelayRecipe(
+            outer=int(deep.etypes[2]), deleted_node=deleted_node,
+            deleted=int(deep.etypes[1]),
+        )
+        pruned = DeepNeighborSet(
+            target,
+            np.delete(deep.nodes, 1),
+            np.delete(deep.etypes, 1),
+            [deep.relays[0], recipe, deep.relays[3]],
+        )
+        packs = model.pack_deep(target, pruned, graph)
+        e_outer = model.edge_embedding.weight.data[recipe.outer]
+        v_del = graph.features[deleted_node] @ model.project.weight.data
+        e_del = model.edge_embedding.weight.data[recipe.deleted]
+        relay = np.maximum(e_outer, v_del * e_del)
+        v_surv = graph.features[pruned.nodes[1]] @ model.project.weight.data
+        np.testing.assert_allclose(packs.data[2], v_surv * relay, atol=1e-12)
+
+    def test_nested_relay_depth(self):
+        inner = RelayRecipe(outer=1, deleted_node=5, deleted=0)
+        outer = RelayRecipe(outer=inner, deleted_node=7, deleted=2)
+        assert inner.depth() == 1
+        assert outer.depth() == 2
+
+    def test_relay_gradients_flow_to_deleted_node_path(self, graph):
+        """The deleted node's features still influence the loss via the relay."""
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        deep = sample_deep(graph, target, 4, rng=0)
+        recipe = RelayRecipe(
+            outer=int(deep.etypes[2]),
+            deleted_node=int(deep.nodes[1]),
+            deleted=int(deep.etypes[1]),
+        )
+        pruned = DeepNeighborSet(
+            target,
+            np.delete(deep.nodes, 1),
+            np.delete(deep.etypes, 1),
+            [deep.relays[0], recipe, deep.relays[3]],
+        )
+        packs = model.pack_deep(target, pruned, graph)
+        packs.sum().backward()
+        assert model.project.weight.grad is not None
+        assert np.abs(model.project.weight.grad).sum() > 0
+
+
+class TestForward:
+    def test_output_is_unit_norm(self, graph):
+        model = make_model(graph)
+        store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+        target = int(graph.labeled_nodes()[0])
+        embedding, _, _ = model(target, store.get(target), graph)
+        assert embedding.shape == (16,)
+        assert np.linalg.norm(embedding.data) == pytest.approx(1.0, abs=1e-6)
+
+    def test_attention_outputs_shapes(self, graph):
+        model = make_model(graph)
+        store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+        target = int(graph.labeled_nodes()[0])
+        state = store.get(target)
+        _, wide_att, deep_atts = model(target, state, graph)
+        assert wide_att.shape == (len(state.wide) + 1,)
+        assert wide_att.sum() == pytest.approx(1.0)
+        assert len(deep_atts) == 2
+        for att, deep in zip(deep_atts, state.deep):
+            assert att.shape == (len(deep) + 1,)
+            assert att.sum() == pytest.approx(1.0)
+
+    def test_no_wide_variant_returns_none_attention(self, graph):
+        model = make_model(graph, use_wide=False)
+        store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+        target = int(graph.labeled_nodes()[0])
+        embedding, wide_att, deep_atts = model(target, store.get(target), graph)
+        assert wide_att is None
+        assert len(deep_atts) == 2
+        assert np.isfinite(embedding.data).all()
+
+    def test_no_deep_variant_returns_empty_deep(self, graph):
+        model = make_model(graph, use_deep=False)
+        store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+        target = int(graph.labeled_nodes()[0])
+        embedding, wide_att, deep_atts = model(target, store.get(target), graph)
+        assert deep_atts == []
+        assert wide_att is not None
+
+    def test_no_successive_variant_changes_output(self, graph):
+        target = int(graph.labeled_nodes()[0])
+        outputs = {}
+        for use_successive in (True, False):
+            model = make_model(graph, use_successive=use_successive)
+            store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+            embedding, _, _ = model(target, store.get(target), graph)
+            outputs[use_successive] = embedding.data
+        assert not np.allclose(outputs[True], outputs[False])
+
+    def test_deterministic_given_seed_and_state(self, graph):
+        target = int(graph.labeled_nodes()[0])
+        results = []
+        for _ in range(2):
+            model = make_model(graph)
+            store = NeighborStateStore(graph, 5, 4, 2, rng=7)
+            embedding, _, _ = model(target, store.get(target), graph)
+            results.append(embedding.data)
+        np.testing.assert_allclose(results[0], results[1])
+
+    def test_isolated_node_still_embeds(self, graph):
+        """A node with empty wide set and empty walk embeds from itself alone."""
+        model = make_model(graph)
+        target = int(graph.labeled_nodes()[0])
+        state = NeighborState(
+            wide=sample_wide(graph, target, 5, rng=0),
+            deep=[sample_deep(graph, target, 4, rng=0)],
+        )
+        # Force-empty both sets.
+        while len(state.wide):
+            state.wide = state.wide.drop(0)
+        state.deep[0] = DeepNeighborSet(
+            target, np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        embedding, wide_att, deep_atts = model(target, state, graph)
+        assert np.isfinite(embedding.data).all()
+        assert wide_att.shape == (1,)
+        assert deep_atts[0].shape == (1,)
+
+    def test_logits_shape(self, graph):
+        from repro.tensor import Tensor
+
+        model = make_model(graph)
+        logits = model.logits(Tensor(np.random.default_rng(0).normal(size=(7, 16))))
+        assert logits.shape == (7, graph.num_classes)
+
+    def test_classification_gradient_reaches_every_component(self, graph):
+        from repro.tensor import functional as F, ops
+
+        model = make_model(graph)
+        store = NeighborStateStore(graph, 5, 4, 2, rng=0)
+        targets = graph.labeled_nodes()[:4]
+        embeddings = [model(int(t), store.get(int(t)), graph)[0] for t in targets]
+        loss = F.cross_entropy(model.logits(ops.stack(embeddings)), graph.labels[targets])
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no gradient reached {name}"

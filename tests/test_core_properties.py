@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on WIDEN's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relay import RelayRecipe, prune_deep, shrink_wide
+from repro.graph.sampling import DeepNeighborSet, WideNeighborSet
+from repro.tensor import Tensor, functional as F
+from repro.nn import causal_mask
+
+
+def random_weights(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.dirichlet(np.ones(size))
+
+
+@st.composite
+def wide_sets(draw):
+    n = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, 1000, n)
+    etypes = rng.integers(0, 5, n)
+    return WideNeighborSet(0, nodes, etypes), rng
+
+
+@st.composite
+def deep_sets(draw):
+    n = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, 1000, n)
+    etypes = rng.integers(0, 5, n)
+    return DeepNeighborSet(0, nodes, etypes), rng
+
+
+class TestShrinkProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(wide_sets())
+    def test_shrink_removes_exactly_one(self, case):
+        wide, rng = case
+        weights = random_weights(rng, len(wide) + 1)
+        result = shrink_wide(wide, weights)
+        assert len(result) == len(wide) - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(wide_sets())
+    def test_shrink_removes_the_argmin(self, case):
+        wide, rng = case
+        weights = random_weights(rng, len(wide) + 1)
+        result = shrink_wide(wide, weights)
+        victim = int(np.argmin(weights[1:]))
+        survivors = list(wide.nodes[:victim]) + list(wide.nodes[victim + 1 :])
+        np.testing.assert_array_equal(result.nodes, survivors)
+
+    @settings(max_examples=50, deadline=None)
+    @given(wide_sets())
+    def test_shrink_preserves_edge_alignment(self, case):
+        wide, rng = case
+        weights = random_weights(rng, len(wide) + 1)
+        result = shrink_wide(wide, weights)
+        pairs_before = set(zip(wide.nodes.tolist(), wide.etypes.tolist()))
+        pairs_after = set(zip(result.nodes.tolist(), result.etypes.tolist()))
+        assert pairs_after <= pairs_before
+
+
+class TestPruneProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(deep_sets())
+    def test_prune_removes_exactly_one(self, case):
+        deep, rng = case
+        weights = random_weights(rng, len(deep) + 1)
+        result = prune_deep(deep, weights)
+        assert len(result) == len(deep) - 1
+        assert len(result.relays) == len(result)
+
+    @settings(max_examples=50, deadline=None)
+    @given(deep_sets())
+    def test_prune_keeps_survivor_order(self, case):
+        deep, rng = case
+        weights = random_weights(rng, len(deep) + 1)
+        result = prune_deep(deep, weights)
+        victim = int(np.argmin(weights[1:]))
+        expected = np.delete(deep.nodes, victim)
+        np.testing.assert_array_equal(result.nodes, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(deep_sets())
+    def test_relay_records_the_deleted_pack(self, case):
+        """Whenever a relay is installed, it must reference exactly the
+        deleted node and the two edges Eq. 8 combines."""
+        deep, rng = case
+        weights = random_weights(rng, len(deep) + 1)
+        victim = int(np.argmin(weights[1:]))
+        result = prune_deep(deep, weights, use_relay=True)
+        if victim < len(deep) - 1:
+            recipe = result.relays[victim]
+            assert isinstance(recipe, RelayRecipe)
+            assert recipe.deleted_node == int(deep.nodes[victim])
+            assert recipe.deleted == int(deep.etypes[victim])
+            assert recipe.outer == int(deep.etypes[victim + 1])
+        else:
+            assert all(relay is None for relay in result.relays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(deep_sets(), st.integers(1, 6))
+    def test_repeated_prunes_never_corrupt(self, case, rounds):
+        """Pruning down to one element keeps arrays consistent at every step."""
+        deep, rng = case
+        for _ in range(min(rounds, len(deep) - 1)):
+            weights = random_weights(rng, len(deep) + 1)
+            deep = prune_deep(deep, weights)
+            assert len(deep.nodes) == len(deep.etypes) == len(deep.relays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(deep_sets())
+    def test_total_information_nodes_preserved_with_relays(self, case):
+        """The union of nodes referenced by survivors + relay recipes equals
+        the original node set minus (possibly) the last element — relays
+        never lose interior context."""
+        deep, rng = case
+        original = set(deep.nodes.tolist())
+        current = deep
+        for _ in range(len(deep) - 1):
+            weights = random_weights(rng, len(current) + 1)
+            victim = int(np.argmin(weights[1:]))
+            was_last = victim == len(current) - 1
+            current = prune_deep(current, weights)
+            if was_last:
+                original = set(current.nodes.tolist()) | _relay_nodes(current)
+
+        referenced = set(current.nodes.tolist()) | _relay_nodes(current)
+        assert referenced <= original
+
+
+def _relay_nodes(deep: DeepNeighborSet) -> set:
+    found = set()
+
+    def walk(spec):
+        if isinstance(spec, RelayRecipe):
+            found.add(spec.deleted_node)
+            walk(spec.outer)
+            walk(spec.deleted)
+
+    for relay in deep.relays:
+        walk(relay)
+    return found
+
+
+class TestAttentionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+    def test_causal_masked_attention_is_row_stochastic_upper_triangular(
+        self, n, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(n, 4)))
+        _, weights = F.attention(x, x, x, mask=causal_mask(n), return_weights=True)
+        np.testing.assert_allclose(weights.data.sum(axis=1), np.ones(n), atol=1e-9)
+        np.testing.assert_allclose(
+            np.tril(weights.data, k=-1), np.zeros((n, n)), atol=1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+    def test_single_query_attention_is_convex_combination(self, m, seed):
+        rng = np.random.default_rng(seed)
+        query = Tensor(rng.normal(size=(4,)))
+        packs = Tensor(rng.normal(size=(m, 4)))
+        attended, weights = F.attention(query, packs, packs, return_weights=True)
+        assert weights.data.min() >= 0
+        assert weights.data.sum() == pytest.approx(1.0)
+        # Output lies inside the convex hull's bounding box.
+        assert (attended.data <= packs.data.max(axis=0) + 1e-9).all()
+        assert (attended.data >= packs.data.min(axis=0) - 1e-9).all()

@@ -1,0 +1,191 @@
+"""Tests for metrics, statistics, t-SNE, silhouette and protocol runners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GCN, GraphSAGE, Node2Vec
+from repro.core import WidenClassifier
+from repro.datasets import make_acm
+from repro.eval import (
+    accuracy,
+    confusion_matrix,
+    evaluate_inductive,
+    evaluate_transductive,
+    fit_on_partitions,
+    macro_f1,
+    micro_f1,
+    paired_t_test,
+    silhouette_score,
+    tsne,
+)
+from repro.eval.stats import significance_marker
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy([0, 1, 2], [0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_micro_f1_equals_accuracy_for_single_label(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 100)
+        y_pred = rng.integers(0, 4, 100)
+        assert micro_f1(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 5), st.integers(5, 40))
+    def test_property_micro_f1_is_accuracy(self, seed, classes, n):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, classes, n)
+        y_pred = rng.integers(0, classes, n)
+        assert micro_f1(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_perfect_prediction(self):
+        labels = np.array([0, 1, 2, 0])
+        assert micro_f1(labels, labels) == 1.0
+        assert macro_f1(labels, labels) == 1.0
+
+    def test_macro_f1_penalizes_minority_failure(self):
+        # 9 correct majority, 1 wrong minority: micro high, macro much lower.
+        y_true = np.array([0] * 9 + [1])
+        y_pred = np.array([0] * 10)
+        assert micro_f1(y_true, y_pred) == pytest.approx(0.9)
+        assert macro_f1(y_true, y_pred) < 0.6
+
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            micro_f1([0, 1], [0])
+        with pytest.raises(ValueError):
+            micro_f1([], [])
+
+
+class TestPairedTTest:
+    def test_identical_scores_not_significant(self):
+        scores = np.array([0.9, 0.91, 0.89])
+        t, p = paired_t_test(scores, scores)
+        assert p == 1.0
+
+    def test_clear_difference_is_significant(self):
+        a = np.array([0.90, 0.91, 0.92, 0.90, 0.91])
+        b = np.array([0.70, 0.72, 0.71, 0.69, 0.70])
+        t, p = paired_t_test(a, b)
+        assert p < 0.01
+        assert t > 0
+
+    def test_markers(self):
+        assert significance_marker(0.005) == "**"
+        assert significance_marker(0.03) == "*"
+        assert significance_marker(0.2) == ""
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            paired_t_test([0.9], [0.8])
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        out = tsne(rng.normal(size=(40, 8)), iterations=50, seed=0)
+        assert out.shape == (40, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(25, 6)) + 8.0
+        b = rng.normal(size=(25, 6)) - 8.0
+        out = tsne(np.vstack([a, b]), iterations=200, seed=0)
+        labels = np.array([0] * 25 + [1] * 25)
+        assert silhouette_score(out, labels) > 0.3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 5))
+        np.testing.assert_allclose(
+            tsne(x, iterations=30, seed=3), tsne(x, iterations=30, seed=3)
+        )
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+
+
+class TestSilhouette:
+    def test_separated_clusters_score_high(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(size=(20, 3)) + 10, rng.normal(size=(20, 3)) - 10])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(x, labels) > 0.8
+
+    def test_random_labels_score_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 3))
+        labels = rng.integers(0, 2, 60)
+        assert abs(silhouette_score(x, labels)) < 0.2
+
+    def test_rejects_single_cluster(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0)
+
+
+class TestProtocols:
+    def test_transductive_runs_and_scores(self, acm):
+        score = evaluate_transductive(GCN(seed=0), acm, epochs=10, seed=0)
+        assert 0.0 <= score <= 1.0
+        assert score > 0.5
+
+    def test_label_fraction_reduces_training_set(self, acm):
+        # 25% labels must still run end to end and stay above chance.
+        score = evaluate_transductive(
+            GCN(seed=0), acm, epochs=40, label_fraction=0.25, seed=0
+        )
+        assert score > 1.0 / acm.num_classes
+
+    def test_partition_training_runs(self, acm):
+        score = evaluate_transductive(
+            GCN(seed=0), acm, epochs=10, num_parts=4, seed=0
+        )
+        assert score > 0.5
+
+    def test_partition_rejects_node2vec(self, acm):
+        with pytest.raises(ValueError):
+            evaluate_transductive(
+                Node2Vec(seed=0), acm, epochs=1, num_parts=4, seed=0
+            )
+
+    def test_inductive_runs(self, acm):
+        score = evaluate_inductive(GraphSAGE(seed=0), acm, epochs=8, seed=0)
+        assert score > 1.0 / acm.num_classes
+
+    def test_inductive_rejects_transductive_only_models(self, acm):
+        with pytest.raises(ValueError):
+            evaluate_inductive(Node2Vec(seed=0), acm, epochs=1, seed=0)
+
+    def test_widen_classifier_conforms(self, acm):
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        score = evaluate_transductive(model, acm, epochs=15, seed=0)
+        assert score > 0.5
+        assert model.num_parameters() > 0
+        assert len(model.epoch_seconds) == 15
+
+    def test_widen_classifier_inductive(self, acm):
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        score = evaluate_inductive(model, acm, epochs=6, seed=0)
+        assert score > 1.0 / acm.num_classes
+
+    def test_fit_on_partitions_covers_all_train_nodes(self, acm):
+        model = GCN(seed=0)
+        fit_on_partitions(
+            model, acm.graph, acm.split.train, epochs=2, num_parts=3, seed=0
+        )
+        # 2 epochs x 3 partitions = 6 recorded epoch entries.
+        assert len(model.epoch_seconds) == 6

@@ -1,0 +1,77 @@
+"""Tests for the multi-head attention extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import WidenConfig, WidenModel, WidenTrainer
+from repro.datasets import make_acm
+from repro.nn import QueryAttention
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0)
+
+
+class TestMultiHeadQueryAttention:
+    def test_single_head_unchanged(self, rng):
+        att = QueryAttention(8, num_heads=1, rng=0)
+        packs = Tensor(rng.normal(size=(5, 8)))
+        out, weights = att(packs[0], packs)
+        assert out.shape == (8,)
+        assert weights.data.sum() == pytest.approx(1.0)
+
+    def test_multi_head_shapes(self, rng):
+        att = QueryAttention(8, num_heads=4, rng=0)
+        packs = Tensor(rng.normal(size=(5, 8)))
+        out, weights = att(packs[0], packs)
+        assert out.shape == (8,)
+        assert weights.shape == (5,)
+        # Mean over per-head simplex weights is still a simplex.
+        assert weights.data.sum() == pytest.approx(1.0)
+        assert (weights.data >= 0).all()
+
+    def test_heads_differ_from_single(self, rng):
+        packs = Tensor(rng.normal(size=(5, 8)))
+        single, _ = QueryAttention(8, num_heads=1, rng=0)(packs[0], packs)
+        multi, _ = QueryAttention(8, num_heads=2, rng=0)(packs[0], packs)
+        assert not np.allclose(single.data, multi.data)
+
+    def test_gradients_flow(self, rng):
+        att = QueryAttention(8, num_heads=2, rng=0)
+        packs = Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+        out, _ = att(packs[0], packs)
+        out.sum().backward()
+        assert att.w_query.grad is not None
+        assert packs.grad is not None
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            QueryAttention(8, num_heads=3)
+        with pytest.raises(ValueError):
+            QueryAttention(8, num_heads=0)
+
+
+class TestMultiHeadWiden:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WidenConfig(dim=32, num_heads=5)
+        assert WidenConfig(dim=32, num_heads=4).num_heads == 4
+
+    def test_multi_head_widen_trains(self, acm):
+        config = WidenConfig(dim=16, num_wide=6, num_deep=5, num_deep_walks=1,
+                             num_heads=2, learning_rate=1e-2)
+        graph = acm.graph
+        model = WidenModel(
+            graph.features.shape[1], graph.num_edge_types_with_loops,
+            graph.num_classes, config, seed=0,
+        )
+        trainer = WidenTrainer(model, graph, config, seed=0)
+        history = trainer.fit(acm.split.train[:48], epochs=3)
+        assert history.losses[-1] < history.losses[0]
+        # Downsampler still receives one weight per pack.
+        state = trainer.store.get(int(acm.split.train[0]))
+        assert state.prev_wide_attention is None or (
+            state.prev_wide_attention.shape == (len(state.wide) + 1,)
+        )

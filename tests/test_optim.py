@@ -1,0 +1,163 @@
+"""Tests for optimizers, gradient clipping and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """(p - 3)^2 summed; minimum at p == 3."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        # grad = 2*(1-3) = -4; p <- 1 - 0.1*(-4) = 1.4
+        np.testing.assert_allclose(p.data, [1.4])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        trajectories = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.array([0.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            trajectories[momentum] = abs(p.data[0] - 3.0)
+        assert trajectories[0.9] < trajectories[0.0]
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 5.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set; must not raise
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([-4.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-4)
+
+    def test_first_step_size_is_about_lr(self):
+        # With bias correction, the first Adam step magnitude ~= lr.
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.5)
+        p.grad = np.array([7.0])
+        opt.step()
+        assert abs(10.0 - p.data[0]) == pytest.approx(0.5, rel=1e-6)
+
+    def test_trains_classifier_better_than_init(self, rng):
+        features = rng.normal(size=(32, 8))
+        x = Tensor(features)
+        # Linearly separable labels so a linear model can actually fit them.
+        labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+        model = Linear(8, 2, rng=0)
+        opt = Adam(model.parameters(), lr=0.05)
+        initial = F.cross_entropy(model(x), labels).item()
+        for _ in range(60):
+            opt.zero_grad()
+            F.cross_entropy(model(x), labels).backward()
+            opt.step()
+        final = F.cross_entropy(model(x), labels).item()
+        assert final < initial * 0.5
+
+    def test_weight_decay_applies(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 5.0
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_clips_to_max_norm(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.zeros(2))
+        p1.grad = np.array([3.0, 0.0])
+        p2.grad = np.array([0.0, 4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt((p1.grad**2).sum() + (p2.grad**2).sum())
+        assert total == pytest.approx(1.0)
+
+    def test_ignores_none_grads(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_cosine_reaches_min(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_configs_raise(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, total_epochs=0)

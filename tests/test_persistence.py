@@ -1,0 +1,54 @@
+"""Model persistence: save/load round trips for WIDEN and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import WidenClassifier
+from repro.baselines import GCN
+from repro.datasets import make_acm
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0)
+
+
+class TestPersistence:
+    def test_widen_roundtrip_preserves_predictions(self, acm, tmp_path):
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=3)
+        before = model.predict(acm.split.test[:40])
+        path = tmp_path / "widen.npz"
+        model.model.save(path)
+
+        fresh = WidenClassifier(seed=99, dim=16, num_wide=6, num_deep=5)
+        fresh.fit(acm.graph, acm.split.train[:48], epochs=0)  # build only
+        fresh.model.load(path)
+        # Predictions must match when the neighbor sampling matches; reuse
+        # the original trainer's stores by comparing raw classifier weights.
+        for name, value in model.model.state_dict().items():
+            np.testing.assert_allclose(fresh.model.state_dict()[name], value)
+
+    def test_gcn_roundtrip_predictions_identical(self, acm, tmp_path):
+        model = GCN(seed=0)
+        model.fit(acm.graph, acm.split.train, epochs=10)
+        before = model.predict(acm.split.test)
+        path = tmp_path / "gcn.npz"
+        model.net.save(path)
+
+        fresh = GCN(seed=123)
+        fresh.fit(acm.graph, acm.split.train, epochs=0)
+        fresh.net.load(path)
+        after = fresh.predict(acm.split.test)
+        np.testing.assert_array_equal(before, after)
+
+    def test_load_rejects_mismatched_architecture(self, acm, tmp_path):
+        small = WidenClassifier(seed=0, dim=8, num_wide=4, num_deep=3)
+        small.fit(acm.graph, acm.split.train[:16], epochs=1)
+        path = tmp_path / "small.npz"
+        small.model.save(path)
+
+        big = WidenClassifier(seed=0, dim=32, num_wide=4, num_deep=3)
+        big.fit(acm.graph, acm.split.train[:16], epochs=0)
+        with pytest.raises(ValueError):
+            big.model.load(path)

@@ -1,0 +1,296 @@
+"""Unit tests for the autograd engine's primitive operations.
+
+Every op gets (a) a forward-value check against numpy and (b) a gradient
+check against central differences via ``tests.helpers.check_gradients``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor import ops
+from tests.helpers import check_gradients
+
+
+class TestElementwise:
+    def test_add_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        out = ops.add(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_add_grad(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        check_gradients(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_broadcast_grad(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        check_gradients(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_scalar_broadcast_grad(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(1, 1))
+        check_gradients(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_sub_grad(self, rng):
+        a, b = rng.normal(size=(2, 5)), rng.normal(size=(2, 5))
+        check_gradients(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_mul_grad(self, rng):
+        a, b = rng.normal(size=(3, 3)), rng.normal(size=(3, 3))
+        check_gradients(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_mul_broadcast_row(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(1, 4))
+        check_gradients(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div_grad(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.uniform(1.0, 2.0, size=(3, 4))
+        check_gradients(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_neg_grad(self, rng):
+        a = rng.normal(size=(4,))
+        check_gradients(lambda x: (-x).sum(), [a])
+
+    def test_power_grad(self, rng):
+        a = rng.uniform(0.5, 2.0, size=(3, 3))
+        check_gradients(lambda x: (x**3).sum(), [a])
+
+    def test_exp_grad(self, rng):
+        a = rng.normal(size=(3, 3))
+        check_gradients(lambda x: ops.exp(x).sum(), [a])
+
+    def test_log_grad(self, rng):
+        a = rng.uniform(0.5, 3.0, size=(3, 3))
+        check_gradients(lambda x: ops.log(x).sum(), [a])
+
+    def test_sqrt_grad(self, rng):
+        a = rng.uniform(0.5, 3.0, size=(4,))
+        check_gradients(lambda x: ops.sqrt(x).sum(), [a])
+
+    def test_tanh_grad(self, rng):
+        a = rng.normal(size=(3, 3))
+        check_gradients(lambda x: ops.tanh(x).sum(), [a])
+
+    def test_sigmoid_forward_extremes(self):
+        out = ops.sigmoid(Tensor(np.array([-1000.0, 0.0, 1000.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_sigmoid_grad(self, rng):
+        a = rng.normal(size=(3, 3))
+        check_gradients(lambda x: ops.sigmoid(x).sum(), [a])
+
+    def test_relu_forward(self):
+        out = ops.relu(Tensor(np.array([-2.0, 0.0, 3.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 3.0])
+
+    def test_relu_grad(self, rng):
+        # Keep values away from the kink so central differences are valid.
+        a = rng.normal(size=(4, 4))
+        a[np.abs(a) < 0.1] = 0.5
+        check_gradients(lambda x: ops.relu(x).sum(), [a])
+
+    def test_leaky_relu_grad(self, rng):
+        a = rng.normal(size=(4, 4))
+        a[np.abs(a) < 0.1] = 0.5
+        check_gradients(lambda x: ops.leaky_relu(x, 0.2).sum(), [a])
+
+    def test_maximum_forward(self):
+        a = Tensor(np.array([1.0, 5.0, 2.0]))
+        b = Tensor(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(ops.maximum(a, b).data, [3.0, 5.0, 2.0])
+
+    def test_maximum_grad_routing(self, rng):
+        a = rng.normal(size=(5,))
+        b = rng.normal(size=(5,))
+        # Avoid exact ties, where the subgradient is ambiguous.
+        b = b + 0.321
+        check_gradients(lambda x, y: ops.maximum(x, y).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: x.sum(), [a])
+
+    def test_sum_axis0(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: x.sum(axis=0).sum(), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: x.sum(axis=1, keepdims=True).sum(), [a])
+
+    def test_mean_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: x.mean(), [a])
+
+    def test_mean_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: x.mean(axis=1).sum(), [a])
+
+    def test_max_forward(self, rng):
+        a = rng.normal(size=(3, 4))
+        out = ops.max(Tensor(a), axis=1)
+        np.testing.assert_allclose(out.data, a.max(axis=1))
+
+    def test_max_grad(self, rng):
+        a = rng.normal(size=(3, 4))  # distinct values almost surely
+        check_gradients(lambda x: ops.max(x, axis=1).sum(), [a])
+
+    def test_max_grad_ties_split(self):
+        a = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        ops.max(a, axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestLinearAlgebra:
+    def test_matmul_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = ops.matmul(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_matmul_grad(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_vector_matrix(self, rng):
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4, 5))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_matrix_vector(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_transpose_grad(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: (x.T * 2.0).sum(), [a])
+
+    def test_transpose_axes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = ops.transpose(Tensor(a), (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        check_gradients(lambda x: ops.transpose(x, (2, 0, 1)).sum(), [a])
+
+    def test_reshape_grad(self, rng):
+        a = rng.normal(size=(3, 4))
+        check_gradients(lambda x: (x.reshape(2, 6) * 3.0).sum(), [a])
+
+
+class TestShapeOps:
+    def test_concat_forward(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = ops.concat([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b]))
+
+    def test_concat_grad(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        check_gradients(lambda x, y: (ops.concat([x, y], axis=0) ** 2).sum(), [a, b])
+
+    def test_concat_axis1_grad(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(3, 5))
+        check_gradients(lambda x, y: (ops.concat([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_grad(self, rng):
+        a, b = rng.normal(size=(3,)), rng.normal(size=(3,))
+        check_gradients(lambda x, y: (ops.stack([x, y]) ** 2).sum(), [a, b])
+
+    def test_take_row_grad(self, rng):
+        a = rng.normal(size=(5, 3))
+        check_gradients(lambda x: (x[2] ** 2).sum(), [a])
+
+    def test_take_repeated_indices_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = ops.take(a, np.array([0, 0, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [[2.0, 2.0], [1.0, 1.0], [0.0, 0.0]])
+
+    def test_embedding_lookup_grad(self, rng):
+        weight = rng.normal(size=(6, 4))
+        indices = np.array([1, 1, 3, 5])
+
+        def fn(w):
+            return (ops.embedding_lookup(w, indices) ** 2).sum()
+
+        check_gradients(fn, [weight])
+
+    def test_slice_grad(self, rng):
+        a = rng.normal(size=(5, 3))
+        check_gradients(lambda x: (ops.slice(x, 1, 4, axis=0) ** 2).sum(), [a])
+
+    def test_slice_axis1(self, rng):
+        a = rng.normal(size=(3, 6))
+        out = ops.slice(Tensor(a), 2, 5, axis=1)
+        np.testing.assert_allclose(out.data, a[:, 2:5])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * 3.0 + a * 4.0
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2.0
+        c = a + 1.0
+        (b * c).backward(np.array([1.0]))
+        # d/da (2a * (a+1)) = 4a + 2
+        np.testing.assert_allclose(a.grad, [14.0])
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_backward_on_non_scalar_needs_seed(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(RuntimeError):
+            out.backward()
+        out.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = (a.detach() * 3.0).sum()
+        assert not out.requires_grad
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_deep_chain_no_recursion_error(self):
+        # Topological sort is iterative; 5000-op chains must not blow the stack.
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 0.001
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * 2.0).backward(np.array([1.0]))
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_item_and_shape_properties(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        assert a.shape == (2, 3)
+        assert a.ndim == 2
+        assert a.size == 6
+        assert len(a) == 2
+        scalar = Tensor(np.array(4.5))
+        assert scalar.item() == pytest.approx(4.5)
+        with pytest.raises(ValueError):
+            a.item()
+
+    def test_accumulate_grad_shape_mismatch_raises(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.accumulate_grad(np.ones((3, 3)))

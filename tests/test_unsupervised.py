@@ -1,0 +1,67 @@
+"""Tests for the unsupervised (walk-context) WIDEN trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import WidenConfig, WidenModel
+from repro.core.unsupervised import UnsupervisedWidenTrainer
+from repro.datasets import make_acm
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0)
+
+
+def build(acm, **overrides):
+    defaults = dict(dim=16, num_wide=6, num_deep=5, num_deep_walks=1,
+                    learning_rate=1e-2, dropout=0.0)
+    defaults.update(overrides)
+    config = WidenConfig(**defaults)
+    model = WidenModel(
+        acm.graph.features.shape[1], acm.graph.num_edge_types_with_loops,
+        acm.graph.num_classes, config, seed=0,
+    )
+    return UnsupervisedWidenTrainer(model, acm.graph, config, seed=0)
+
+
+class TestUnsupervised:
+    def test_loss_decreases(self, acm):
+        trainer = build(acm)
+        trainer.fit(epochs=4, anchors_per_epoch=96)
+        assert len(trainer.losses) == 4
+        assert trainer.losses[-1] < trainer.losses[0]
+
+    def test_embeddings_shape_and_norm(self, acm):
+        trainer = build(acm)
+        trainer.fit(epochs=1, anchors_per_epoch=32)
+        embeddings = trainer.embed(acm.split.test[:10])
+        assert embeddings.shape == (10, 16)
+        np.testing.assert_allclose(
+            np.linalg.norm(embeddings, axis=1), np.ones(10), atol=1e-6
+        )
+
+    def test_probe_beats_chance_without_labels_in_training(self, acm):
+        """Embeddings learned with zero label access must still carry class
+        signal recoverable by a frozen linear probe."""
+        trainer = build(acm, dim=32)
+        trainer.fit(epochs=4, anchors_per_epoch=256)
+        accuracy = trainer.fit_classifier_probe(
+            acm.split.train, acm.split.test, epochs=150, seed=0
+        )
+        assert accuracy > 1.2 / acm.num_classes
+
+    def test_no_labels_touched_during_fit(self, acm):
+        """Corrupting every label must not change the unsupervised loss."""
+        graph = acm.graph
+        original = graph.labels.copy()
+        try:
+            trainer = build(acm)
+            trainer.fit(epochs=1, anchors_per_epoch=64)
+            reference = trainer.losses[-1]
+            graph.labels = np.zeros_like(graph.labels)
+            trainer2 = build(acm)
+            trainer2.fit(epochs=1, anchors_per_epoch=64)
+            assert trainer2.losses[-1] == pytest.approx(reference)
+        finally:
+            graph.labels = original
