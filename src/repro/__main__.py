@@ -8,6 +8,12 @@ Commands
     Train WIDEN on a dataset and report test micro-F1.
 ``compare [dataset] [--epochs N]``
     Train WIDEN and every baseline on a dataset; print a leaderboard.
+``serve-bench [dataset] [--requests N] [--rate R] ...``
+    Train WIDEN, checkpoint it through the model registry, restore it into
+    an :class:`~repro.serve.InferenceServer`, replay a deterministic
+    Poisson/Zipf arrival trace, and print a latency/throughput report:
+    cold single-request baseline vs. the batched server (cold cache) vs.
+    the batched server (warm cache).
 """
 
 from __future__ import annotations
@@ -76,16 +82,99 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.core import WidenClassifier
+    from repro.datasets import make_dataset
+    from repro.serve import (
+        InferenceServer, ModelRegistry, cold_single_requests, make_trace, replay,
+    )
+
+    dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
+    model = WidenClassifier(seed=args.seed)
+    model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
+
+    # Round-trip through the registry: the served model is restored from its
+    # checkpoint exactly as a real serving process would be.
+    with tempfile.TemporaryDirectory(prefix="repro-registry-") as root:
+        registry = ModelRegistry(root)
+        registry.save(f"widen-{dataset.name}", model)
+        served = registry.load(f"widen-{dataset.name}", graph=dataset.graph)
+
+        pool = dataset.split.test
+        trace = make_trace(
+            pool, args.requests, rate=args.rate,
+            zipf_exponent=args.zipf, rng=args.seed,
+        )
+        span = trace[-1].time
+        print(f"trace: {len(trace)} requests over {span:.2f}s "
+              f"({len(np.unique([e.node for e in trace]))} distinct of "
+              f"{pool.size} servable nodes, zipf s={args.zipf})\n")
+
+        cold = cold_single_requests(served, dataset.graph, trace, seed=args.seed)
+        print("cold single-request baseline (no batching, no cache)")
+        print("-" * 52)
+        print(f"latency mean      {cold['latency_mean_s'] * 1e3:.3f} ms")
+        print(f"latency p50/p95/p99   "
+              f"{cold['latency_p50_s'] * 1e3:.3f} / "
+              f"{cold['latency_p95_s'] * 1e3:.3f} / "
+              f"{cold['latency_p99_s'] * 1e3:.3f} ms")
+        print(f"throughput        {cold['throughput_rps']:.1f} req/s\n")
+
+        server = InferenceServer(
+            served, dataset.graph,
+            max_batch_size=args.batch_size, max_wait=args.max_wait,
+            cache_capacity=args.cache_capacity, seed=args.seed,
+        )
+        replay(server, trace)
+        print(server.telemetry.format_report("server, first pass (cold cache)"))
+        warm = replay(server, trace)
+        print()
+        print(server.telemetry.format_report("server, replayed pass (warm cache)"))
+        speedup = (
+            cold["latency_mean_s"] / warm["latency_mean_s"]
+            if warm["latency_mean_s"] > 0 else float("inf")
+        )
+        print(f"\nwarm-cache mean latency is {speedup:.1f}x lower than the "
+              f"cold single-request baseline "
+              f"({warm['latency_mean_s'] * 1e3:.3f} ms vs "
+              f"{cold['latency_mean_s'] * 1e3:.3f} ms)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    parser.add_argument("command", choices=("stats", "train", "compare"))
+    parser.add_argument("command", choices=("stats", "train", "compare", "serve-bench"))
     parser.add_argument("dataset", nargs="?", default=None,
                         help="acm | dblp | yelp (default: all for stats, acm otherwise)")
+    parser.add_argument("--dataset", dest="dataset_flag", default=None,
+                        help="flag spelling of the positional dataset argument")
     parser.add_argument("--epochs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
+    serve = parser.add_argument_group("serve-bench")
+    serve.add_argument("--requests", type=int, default=400,
+                       help="trace length (arrivals to replay)")
+    serve.add_argument("--rate", type=float, default=300.0,
+                       help="mean arrival rate, requests/second")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf popularity exponent of the node pool")
+    serve.add_argument("--batch-size", type=int, default=16,
+                       help="micro-batcher max batch size")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="micro-batcher deadline, seconds")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="embedding cache entries")
     args = parser.parse_args(argv)
-    handlers = {"stats": _cmd_stats, "train": _cmd_train, "compare": _cmd_compare}
+    args.dataset = args.dataset or args.dataset_flag
+    handlers = {
+        "stats": _cmd_stats,
+        "train": _cmd_train,
+        "compare": _cmd_compare,
+        "serve-bench": _cmd_serve_bench,
+    }
     return handlers[args.command](args)
 
 

@@ -4,10 +4,20 @@ Benchmarks and protocol runners treat every model as a
 :class:`~repro.baselines.common.BaseClassifier`; this wraps
 :class:`WidenModel` + :class:`WidenTrainer` behind that interface so WIDEN
 slots into the same harness rows as the baselines.
+
+Persistence: :meth:`WidenClassifier.save` writes a *self-describing*
+checkpoint — parameters plus hyperparameters, seed and the dataset schema
+the model was trained against — and :meth:`WidenClassifier.load` rebuilds a
+ready-to-serve classifier from it without a training graph.  This replaces
+the old ``fit(graph, nodes, epochs=0)`` build-only hack;
+:meth:`~repro.nn.module.Module.save`/``load`` remain the low-level
+parameter-array layer underneath.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from typing import Optional
 
 import numpy as np
@@ -18,6 +28,9 @@ from repro.core.model import WidenModel
 from repro.core.trainer import WidenTrainer
 from repro.graph import HeteroGraph
 from repro.utils.rng import SeedLike, spawn_rngs
+
+CHECKPOINT_KEY = "__checkpoint__"
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 class WidenClassifier(BaseClassifier):
@@ -44,11 +57,16 @@ class WidenClassifier(BaseClassifier):
 
             config = dataclasses.replace(config, **config_overrides)
         self.config = config
+        # Remember the original seed when it round-trips through JSON; a
+        # caller-supplied Generator has consumed state we cannot serialize.
+        self._seed = int(seed) if isinstance(seed, (int, np.integer)) else None
         self._model_seed, self._trainer_seed, self._eval_seed = spawn_rngs(seed, 3)
         self.model: Optional[WidenModel] = None
         self.trainer: Optional[WidenTrainer] = None
+        self._schema: Optional[dict] = None
 
     def _build(self, graph: HeteroGraph) -> None:
+        self._schema = self._graph_schema(graph)
         self.model = WidenModel(
             graph.features.shape[1],
             graph.num_edge_types_with_loops,
@@ -79,3 +97,139 @@ class WidenClassifier(BaseClassifier):
 
     def num_parameters(self) -> int:
         return 0 if self.model is None else self.model.num_parameters()
+
+    # ------------------------------------------------------------------
+    # Serving hooks (repro.serve)
+    # ------------------------------------------------------------------
+
+    def predict_from_embeddings(self, embeddings: np.ndarray) -> np.ndarray:
+        """Class predictions from precomputed embeddings (cache-hit path)."""
+        if self.trainer is None:
+            raise RuntimeError("predict_from_embeddings before fit/bind")
+        return self.trainer.predict(np.asarray(embeddings, dtype=np.float64))
+
+    def embed_for_serving(
+        self, nodes: np.ndarray, graph: HeteroGraph, rng: SeedLike = None
+    ) -> np.ndarray:
+        """Identity-free inductive embedding for the serving path.
+
+        Always samples neighborhoods fresh from ``graph`` — never reads the
+        trainer's persistent per-node stores — so results stay correct after
+        in-place streaming mutations and are a pure function of
+        ``(parameters, graph contents, rng)``.  The server exploits that by
+        seeding ``rng`` from ``(server seed, graph.version, node)``, making
+        every response reproducible.
+        """
+        if self.trainer is None:
+            raise RuntimeError("embed_for_serving before fit/bind")
+        return self.trainer.embed_inductive(
+            graph, np.asarray(nodes, dtype=np.int64), rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _graph_schema(graph: HeteroGraph) -> dict:
+        return {
+            "num_features": int(graph.features.shape[1]),
+            "num_edge_types_with_loops": int(graph.num_edge_types_with_loops),
+            "num_classes": int(graph.num_classes),
+            "node_type_names": list(graph.node_type_names),
+            "edge_type_names": list(graph.edge_type_names),
+        }
+
+    def bind(self, graph: HeteroGraph) -> "WidenClassifier":
+        """Attach ``graph`` for inference without touching parameters.
+
+        Validates the graph against the schema captured at build/save time,
+        then rebuilds the graph-bound trainer state (neighbor stores).  Use
+        after :meth:`load` to point a restored model at a serving graph, or
+        to force a state rebuild on the current graph.
+        """
+        if self.model is None:
+            raise RuntimeError("bind() before the model exists; fit() or load()")
+        if self._schema is not None:
+            incoming = self._graph_schema(graph)
+            mismatched = {
+                key: (self._schema[key], incoming[key])
+                for key in ("num_features", "num_edge_types_with_loops", "num_classes")
+                if self._schema[key] != incoming[key]
+            }
+            if mismatched:
+                raise ValueError(
+                    f"graph schema mismatch: {mismatched} "
+                    "(expected vs offered; the model's parameter shapes are "
+                    "fixed by the schema it was trained on)"
+                )
+        self.graph = graph
+        self.trainer = WidenTrainer(
+            self.model, graph, self.config, seed=self._trainer_seed
+        )
+        return self
+
+    def save(self, path) -> None:
+        """Write a self-describing checkpoint (parameters + config + schema).
+
+        The file is a ``.npz`` whose array keys are parameter names (the
+        :meth:`Module.save` layout) plus one JSON metadata entry, so the
+        low-level ``Module.load`` can still read the parameter arrays.
+        """
+        if self.model is None:
+            raise RuntimeError("save() before fit(); there is nothing to save")
+        meta = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "class": self.name,
+            "config": dataclasses.asdict(self.config),
+            "seed": self._seed,
+            "schema": self._schema,
+        }
+        np.savez(path, **{CHECKPOINT_KEY: json.dumps(meta)}, **self.model.state_dict())
+
+    @staticmethod
+    def read_checkpoint_metadata(path) -> dict:
+        """Metadata dict of a checkpoint written by :meth:`save`."""
+        with np.load(path) as archive:
+            if CHECKPOINT_KEY not in archive.files:
+                raise ValueError(
+                    f"{path!r} is a bare parameter file (Module.save), not a "
+                    "classifier checkpoint; load it with Module.load into an "
+                    "already-built model"
+                )
+            return json.loads(str(archive[CHECKPOINT_KEY]))
+
+    @classmethod
+    def load(cls, path, graph: Optional[HeteroGraph] = None) -> "WidenClassifier":
+        """Rebuild a classifier from :meth:`save` output — no graph needed.
+
+        Hyperparameters, seed and schema come from the checkpoint, so this
+        replaces the old ``fit(graph, nodes, epochs=0)``-then-``Module.load``
+        hack.  Pass ``graph`` to bind a serving graph immediately (validated
+        against the saved schema); otherwise call :meth:`bind` later.
+        """
+        meta = cls.read_checkpoint_metadata(path)
+        if meta.get("class") != cls.name:
+            raise ValueError(
+                f"checkpoint {path!r} holds a {meta.get('class')!r} model, "
+                f"not {cls.name!r}"
+            )
+        classifier = cls(
+            config=WidenConfig(**meta["config"]), seed=meta.get("seed")
+        )
+        classifier._schema = meta["schema"]
+        schema = meta["schema"]
+        classifier.model = WidenModel(
+            schema["num_features"],
+            schema["num_edge_types_with_loops"],
+            schema["num_classes"],
+            classifier.config,
+            seed=classifier._model_seed,
+        )
+        with np.load(path) as archive:
+            classifier.model.load_state_dict(
+                {name: archive[name] for name in archive.files if name != CHECKPOINT_KEY}
+            )
+        if graph is not None:
+            classifier.bind(graph)
+        return classifier

@@ -11,18 +11,25 @@ type per node type** — WIDEN learns a self-loop edge embedding ``e_{t,t}``
 between nodes of the same type (Section 3.1), and baselines reuse the same
 vocabulary.  ``num_edge_types`` counts real types only;
 ``num_edge_types_with_loops`` includes the self-loop types.
+
+The graph is *append-only*: the streaming serving path (``repro.serve``)
+extends it in place through :meth:`add_nodes` / :meth:`add_edges`, which
+keep the type vocabularies fixed (the model's edge-type embedding tables
+are sized at training time), bump the monotone :attr:`version` counter and
+fire registered mutation hooks — the invalidation signal for anything that
+caches per-node derived state (embedding caches, sampled neighbor stores).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 
 class HeteroGraph:
-    """Immutable typed graph with CSR adjacency.
+    """Typed graph with CSR adjacency; append-only under streaming arrivals.
 
     Construct via :class:`~repro.graph.builder.GraphBuilder`; the raw
     constructor expects already-validated arrays.
@@ -69,10 +76,19 @@ class HeteroGraph:
             else np.asarray(labels, dtype=np.int64)
         )
         self.num_classes = int(num_classes)
+        self.version = 0
+        self._mutation_hooks: List[Callable[["HeteroGraph"], None]] = []
+        self._rebuild_csr(
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(edge_types, dtype=np.int64),
+        )
 
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        edge_types = np.asarray(edge_types, dtype=np.int64)
+    def _rebuild_csr(
+        self, src: np.ndarray, dst: np.ndarray, edge_types: np.ndarray
+    ) -> None:
+        """(Re)build the CSR arrays from COO edges; used by ``__init__`` and
+        by the streaming mutation path."""
         self.num_edges = int(src.shape[0])
         # Build CSR: sort edges by source, then cumulative counts.
         order = np.argsort(src, kind="stable")
@@ -101,6 +117,135 @@ class HeteroGraph:
     def self_loop_types(self, nodes: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`self_loop_type`."""
         return self.num_edge_types + self.node_types[np.asarray(nodes)]
+
+    # ------------------------------------------------------------------
+    # Streaming mutation (serving path)
+    # ------------------------------------------------------------------
+
+    def add_mutation_hook(
+        self, hook: Callable[["HeteroGraph"], None]
+    ) -> Callable[["HeteroGraph"], None]:
+        """Register ``hook(graph)`` to fire after every mutation.
+
+        Hooks run after :attr:`version` is bumped, so they observe the new
+        version.  Returns ``hook`` so callers can keep a handle for
+        :meth:`remove_mutation_hook`.
+        """
+        self._mutation_hooks.append(hook)
+        return hook
+
+    def remove_mutation_hook(self, hook: Callable[["HeteroGraph"], None]) -> None:
+        self._mutation_hooks.remove(hook)
+
+    def _fire_mutation(self) -> None:
+        self.version += 1
+        for hook in list(self._mutation_hooks):
+            hook(self)
+
+    def add_nodes(
+        self,
+        type_name: str,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Append ``count`` nodes of an *existing* type; return their new ids.
+
+        The node-type vocabulary is fixed after construction — WIDEN's edge
+        embeddings (including the per-node-type self-loop types) are sized at
+        training time, so a brand-new type could not be embedded anyway.
+        ``features`` is required when the graph carries features; ``labels``
+        defaults to unlabeled (``-1``) — arriving production nodes have no
+        ground truth.
+        """
+        if type_name not in self.node_type_names:
+            raise ValueError(
+                f"unknown node type {type_name!r}; streaming arrivals must "
+                f"use one of {self.node_type_names} (the model's type "
+                "vocabulary is fixed at training time)"
+            )
+        type_id = self.node_type_names.index(type_name)
+        if features is not None:
+            features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+            if count is None:
+                count = features.shape[0]
+            elif count != features.shape[0]:
+                raise ValueError(
+                    f"count ({count}) != feature rows ({features.shape[0]})"
+                )
+        elif count is None:
+            count = 1
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if self.features is not None:
+            if features is None:
+                raise ValueError("graph has features; arriving nodes need them")
+            if features.shape[1] != self.features.shape[1]:
+                raise ValueError(
+                    f"feature dim {features.shape[1]} != graph's "
+                    f"{self.features.shape[1]}"
+                )
+        if labels is None:
+            labels = np.full(count, -1, dtype=np.int64)
+        else:
+            labels = np.atleast_1d(np.asarray(labels, dtype=np.int64))
+            if labels.shape != (count,):
+                raise ValueError(f"labels shape {labels.shape} != ({count},)")
+            if labels.max(initial=-1) >= self.num_classes:
+                raise ValueError(
+                    f"label {labels.max()} out of range for "
+                    f"{self.num_classes} classes"
+                )
+        start = self.num_nodes
+        self.node_types = np.concatenate(
+            [self.node_types, np.full(count, type_id, dtype=np.int64)]
+        )
+        self.num_nodes += count
+        if self.features is not None:
+            self.features = np.concatenate([self.features, features])
+        self.labels = np.concatenate([self.labels, labels])
+        # New nodes start isolated: extend indptr with the terminal offset.
+        self.indptr = np.concatenate(
+            [self.indptr, np.full(count, self.indptr[-1], dtype=np.int64)]
+        )
+        self._fire_mutation()
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def add_edges(
+        self,
+        edge_type: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        symmetric: bool = True,
+    ) -> None:
+        """Append edges of an *existing* type (same contract as the builder:
+        endpoints must exist, explicit self-loops are rejected, ``symmetric``
+        also stores the reverse direction)."""
+        if edge_type not in self.edge_type_names:
+            raise ValueError(
+                f"unknown edge type {edge_type!r}; streaming arrivals must "
+                f"use one of {self.edge_type_names}"
+            )
+        etype_id = self.edge_type_names.index(edge_type)
+        src = np.atleast_1d(np.asarray(src, dtype=np.int64))
+        dst = np.atleast_1d(np.asarray(dst, dtype=np.int64))
+        if src.shape != dst.shape:
+            raise ValueError(f"src/dst shapes differ: {src.shape} vs {dst.shape}")
+        if src.size == 0:
+            return
+        if src.min() < 0 or dst.min() < 0 or max(src.max(), dst.max()) >= self.num_nodes:
+            raise IndexError(f"edge endpoints out of range [0, {self.num_nodes})")
+        if np.any(src == dst):
+            raise ValueError("explicit self-loop edges are not allowed")
+        if symmetric:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        all_src = np.concatenate([self._src, src])
+        all_dst = np.concatenate([self.indices, dst])
+        all_etype = np.concatenate(
+            [self.edge_type_of, np.full(src.shape, etype_id, dtype=np.int64)]
+        )
+        self._rebuild_csr(all_src, all_dst, all_etype)
+        self._fire_mutation()
 
     # ------------------------------------------------------------------
     # Neighborhood access

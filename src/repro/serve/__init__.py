@@ -1,0 +1,41 @@
+"""``repro.serve`` — the inductive inference serving layer.
+
+Turns a trained classifier into a long-lived service, the production half
+of the paper's "heterogeneity + inductiveness + efficiency" claim:
+
+- :class:`ModelRegistry` — named, self-describing checkpoints (parameters
+  + hyperparameters + dataset schema) restored without a training graph;
+- :class:`MicroBatcher` — request coalescing under size/deadline triggers;
+- :class:`EmbeddingCache` — LRU memoization keyed ``(node, graph version)``
+  so streaming mutations can never serve stale embeddings;
+- :class:`InferenceServer` — ties the above over one serving graph, with
+  streaming ingestion (``add_nodes``/``add_edges``) wired to the graph's
+  mutation hooks;
+- :class:`Telemetry` — per-request latency percentiles, queue depth, batch
+  occupancy and cache hit-rate;
+- :mod:`~repro.serve.loadgen` — deterministic Poisson/Zipf traces and the
+  replay harness behind ``python -m repro serve-bench``.
+"""
+
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.cache import EmbeddingCache
+from repro.serve.loadgen import TraceEvent, cold_single_requests, make_trace, replay
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import InferenceServer, ServeResult
+from repro.serve.telemetry import RequestRecord, Telemetry, percentile
+
+__all__ = [
+    "MicroBatcher",
+    "ServeRequest",
+    "EmbeddingCache",
+    "ModelRegistry",
+    "InferenceServer",
+    "ServeResult",
+    "Telemetry",
+    "RequestRecord",
+    "percentile",
+    "TraceEvent",
+    "make_trace",
+    "replay",
+    "cold_single_requests",
+]

@@ -1,0 +1,89 @@
+"""Capacity-bounded LRU embedding cache keyed on ``(node_id, graph_version)``.
+
+Versioned keys make stale reads *structurally* impossible: a streaming
+mutation bumps ``HeteroGraph.version``, so every subsequent lookup misses the
+pre-mutation entries regardless of what is still resident.  The server
+additionally drops dead-version entries eagerly from its mutation hook
+(:meth:`EmbeddingCache.invalidate`) so they stop occupying capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+Key = Tuple[int, int]  # (node_id, graph_version)
+
+
+class EmbeddingCache:
+    """LRU cache of per-node embeddings with hit/miss/eviction accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Key, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, node: int, version: int) -> Optional[np.ndarray]:
+        """Embedding for ``node`` at graph ``version``; None on miss."""
+        key = (int(node), int(version))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, node: int, version: int, embedding: np.ndarray) -> None:
+        key = (int(node), int(version))
+        self._entries[key] = np.asarray(embedding)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(
+        self, nodes: Optional[Iterable[int]] = None, *, keep_version: Optional[int] = None
+    ) -> int:
+        """Drop entries; returns how many were removed.
+
+        ``nodes=None`` drops everything (or, with ``keep_version``, every
+        entry from *other* versions — the mutation-hook fast path).
+        ``nodes`` drops all versions of the given ids.
+        """
+        if nodes is None:
+            if keep_version is None:
+                victims = list(self._entries)
+            else:
+                victims = [key for key in self._entries if key[1] != keep_version]
+        else:
+            ids = {int(node) for node in nodes}
+            victims = [key for key in self._entries if key[0] in ids]
+        for key in victims:
+            del self._entries[key]
+        self.invalidations += len(victims)
+        return len(victims)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return (int(key[0]), int(key[1])) in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

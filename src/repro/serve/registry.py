@@ -1,0 +1,72 @@
+"""Model registry: a directory of named, self-describing checkpoints.
+
+The registry is deliberately thin — one checkpoint file per model name,
+written and read through :meth:`WidenClassifier.save`/``load`` — so a
+serving process can be pointed at a directory and restore any registered
+model *without* knowing its hyperparameters, which travel inside the
+checkpoint together with the dataset schema.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Type
+
+from repro.core.classifier import WidenClassifier
+from repro.graph import HeteroGraph
+
+# Checkpoint ``class`` field -> restorer.  Extend as more model families
+# grow first-class checkpoint support.
+CHECKPOINT_CLASSES: Dict[str, Type[WidenClassifier]] = {
+    WidenClassifier.name: WidenClassifier,
+}
+
+
+class ModelRegistry:
+    """Named checkpoints under one root directory (``<root>/<name>.npz``)."""
+
+    suffix = ".npz"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid model name {name!r}")
+        return self.root / f"{name}{self.suffix}"
+
+    def save(self, name: str, classifier: WidenClassifier) -> Path:
+        """Checkpoint ``classifier`` under ``name``; returns the file path."""
+        path = self.path(name)
+        classifier.save(path)
+        return path
+
+    def load(
+        self, name: str, graph: Optional[HeteroGraph] = None
+    ) -> WidenClassifier:
+        """Restore the named model, optionally binding a serving graph."""
+        path = self.path(name)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no checkpoint named {name!r} in {self.root} "
+                f"(registered: {self.list() or 'none'})"
+            )
+        meta = WidenClassifier.read_checkpoint_metadata(path)
+        cls = CHECKPOINT_CLASSES.get(meta.get("class"))
+        if cls is None:
+            raise ValueError(
+                f"checkpoint {name!r} holds unsupported class "
+                f"{meta.get('class')!r}; known: {sorted(CHECKPOINT_CLASSES)}"
+            )
+        return cls.load(path, graph=graph)
+
+    def describe(self, name: str) -> dict:
+        """Checkpoint metadata (config, seed, schema) without loading weights."""
+        return WidenClassifier.read_checkpoint_metadata(self.path(name))
+
+    def list(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob(f"*{self.suffix}"))
+
+    def __contains__(self, name: str) -> bool:
+        return self.path(name).exists()

@@ -1,0 +1,325 @@
+"""The long-lived inference server.
+
+``InferenceServer`` turns a trained classifier into a service over one
+*serving graph*.  The embedding cache sits **in front of** the micro-batcher:
+a request whose embedding is resident (at the current graph version)
+completes at submit time and never pays the batching deadline; only misses
+are queued and coalesced into batched forward passes.  Streaming arrivals
+(:meth:`add_nodes` / :meth:`add_edges`) mutate the graph in place — the
+graph's mutation hooks then invalidate every cache layer, so a
+post-mutation request can never observe pre-mutation state.
+
+Determinism: for classifiers exposing ``embed_for_serving`` (WIDEN), each
+cache miss is computed with an rng seeded by ``(server seed, graph version,
+node id)``.  A response is therefore a pure function of the model
+parameters, the graph contents and the server seed — independent of request
+order, batching boundaries and cache history.  That is what makes the
+"mutated server == cold server" test in ``tests/test_serve.py`` exact
+rather than statistical.
+
+The server is single-threaded by design (the whole stack is numpy on one
+core); the batcher exists to amortize per-call overhead and to model the
+deadline/size trade-off, not to juggle OS threads.  Concurrent request
+handling is an open ROADMAP item.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.common import BaseClassifier
+from repro.graph import HeteroGraph
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.cache import EmbeddingCache
+from repro.serve.telemetry import RequestRecord, Telemetry
+
+
+@dataclass
+class ServeResult:
+    """Completed request: ``value`` is a class id (classify) or embedding."""
+
+    request_id: int
+    node: int
+    kind: str
+    value: Union[int, np.ndarray]
+    arrival: float
+    completion: float
+    cache_hit: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+class InferenceServer:
+    """Micro-batched, cached, mutation-aware inference over one graph."""
+
+    def __init__(
+        self,
+        classifier: BaseClassifier,
+        graph: HeteroGraph,
+        *,
+        max_batch_size: int = 16,
+        max_wait: float = 0.002,
+        cache_capacity: int = 1024,
+        seed: int = 0,
+    ) -> None:
+        if classifier.graph is None:
+            # A freshly loaded checkpoint: bind the serving graph (schema
+            # validated inside bind()).
+            if not hasattr(classifier, "bind"):
+                raise ValueError(
+                    f"{classifier.name}: fit() it or give a classifier with "
+                    "a bind() method before serving"
+                )
+            classifier.bind(graph)
+        self.classifier = classifier
+        self.graph = graph
+        self.seed = int(seed)
+        self.batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait)
+        self.cache = EmbeddingCache(cache_capacity)
+        self.telemetry = Telemetry(max_batch_size=max_batch_size)
+        self._results: Dict[int, ServeResult] = {}
+        self._next_id = 0
+        # Single-worker service model: a batch cannot start before the
+        # previous one finished, so completion times (and therefore the
+        # reported throughput) reflect sequential execution even when a
+        # logical replay clock drives the arrivals.
+        self._busy_until = float("-inf")
+        # WIDEN's serving path is identity-free (fresh neighborhood samples
+        # every miss), so graph mutations need no classifier-side refresh;
+        # generic classifiers fall back to embed() + cache rebuild.
+        self._identity_free = hasattr(classifier, "embed_for_serving")
+        self._hook = graph.add_mutation_hook(self._on_graph_mutation)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, node: int, *, kind: str = "classify", now: Optional[float] = None) -> int:
+        """Enqueue one request; returns its id.  May flush a due batch."""
+        if kind not in ("classify", "embed"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        node = int(node)
+        if not 0 <= node < self.graph.num_nodes:
+            raise IndexError(
+                f"node {node} out of range [0, {self.graph.num_nodes})"
+            )
+        now = self._now(now)
+        self._poll_deadline(now)
+        self.telemetry.record_queue_depth(self.batcher.depth)
+        request = ServeRequest(self._next_id, node, now, kind)
+        self._next_id += 1
+        if self._try_complete_from_cache(request):
+            return request.request_id
+        batch = self.batcher.submit(request)
+        if batch is not None:
+            self._execute(batch, flush_time=now)
+        return request.request_id
+
+    def _try_complete_from_cache(self, request: ServeRequest) -> bool:
+        """Cache-in-front fast path: a resident embedding (current version)
+        completes the request at submit time, skipping the batch queue and
+        its deadline entirely.  Classify hits additionally need the
+        embeddings->classes head; classifiers without one queue normally."""
+        if request.kind == "classify" and not hasattr(
+            self.classifier, "predict_from_embeddings"
+        ):
+            return False
+        cached = self.cache.get(request.node, self.graph.version)
+        if cached is None:
+            return False
+        start = time.perf_counter()
+        if request.kind == "classify":
+            value: Union[int, np.ndarray] = int(
+                self.classifier.predict_from_embeddings(cached[np.newaxis])[0]
+            )
+        else:
+            value = cached
+        completion = request.arrival + (time.perf_counter() - start)
+        self._finish(request, value, completion, cache_hit=True, batch_size=1)
+        return True
+
+    def poll(self, now: Optional[float] = None) -> int:
+        """Flush batches whose deadline has passed; returns batches executed."""
+        return self._poll_deadline(self._now(now))
+
+    def drain(self, now: Optional[float] = None) -> None:
+        """Execute everything still queued (end-of-stream / shutdown)."""
+        now = self._now(now)
+        while True:
+            batch = self.batcher.flush()
+            if batch is None:
+                return
+            self._execute(batch, flush_time=max(now, batch[0].arrival))
+
+    def result(self, request_id: int, *, pop: bool = True) -> ServeResult:
+        """Completed result by id; raises ``KeyError`` while still queued."""
+        if request_id not in self._results:
+            raise KeyError(
+                f"request {request_id} has no result yet; poll() or drain() "
+                "to flush pending batches"
+            )
+        if pop:
+            return self._results.pop(request_id)
+        return self._results[request_id]
+
+    # -- blocking conveniences ------------------------------------------
+
+    def classify(self, nodes, now: Optional[float] = None) -> np.ndarray:
+        """Submit + drain: class predictions for ``nodes`` (blocking)."""
+        return self._run_now(nodes, "classify", now)
+
+    def embed(self, nodes, now: Optional[float] = None) -> np.ndarray:
+        """Submit + drain: embeddings for ``nodes`` (blocking)."""
+        return self._run_now(nodes, "embed", now)
+
+    def _run_now(self, nodes, kind: str, now: Optional[float]) -> np.ndarray:
+        now = self._now(now)
+        ids = [self.submit(node, kind=kind, now=now) for node in np.atleast_1d(nodes)]
+        self.drain(now)
+        values = [self.result(request_id).value for request_id in ids]
+        return np.stack(values) if kind == "embed" else np.asarray(values)
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+
+    def add_nodes(
+        self,
+        type_name: str,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Streaming node arrival; the new ids are immediately servable."""
+        return self.graph.add_nodes(type_name, features=features, labels=labels, count=count)
+
+    def add_edges(self, edge_type: str, src, dst, symmetric: bool = True) -> None:
+        """Streaming edge arrival (fires invalidation like ``add_nodes``)."""
+        self.graph.add_edges(edge_type, src, dst, symmetric=symmetric)
+
+    def _on_graph_mutation(self, graph: HeteroGraph) -> None:
+        # Entries of dead versions can never be read again (the key embeds
+        # the version); drop them eagerly so they stop holding capacity.
+        self.cache.invalidate(keep_version=graph.version)
+        if not self._identity_free and self.classifier.graph is graph:
+            self.classifier.refresh_graph_caches()
+
+    def close(self) -> None:
+        """Detach from the graph (stop receiving mutation hooks)."""
+        try:
+            self.graph.remove_mutation_hook(self._hook)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _poll_deadline(self, now: float) -> int:
+        executed = 0
+        while True:
+            queue = self.batcher._queue
+            deadline = queue[0].arrival + self.batcher.max_wait if queue else None
+            batch = self.batcher.poll(now)
+            if batch is None:
+                return executed
+            # The deadline fired at oldest-arrival + max_wait, which is when
+            # a real event loop would have flushed; use it as the flush time
+            # so replayed traces don't inflate queue waits to the next
+            # arrival gap.
+            self._execute(batch, flush_time=deadline)
+            executed += 1
+
+    def _compute_embedding(self, node: int) -> np.ndarray:
+        if self._identity_free:
+            rng = np.random.default_rng([self.seed, self.graph.version, int(node)])
+            return self.classifier.embed_for_serving(
+                np.array([node]), self.graph, rng=rng
+            )[0]
+        return self.classifier.embed(np.array([node]), graph=self.graph)[0]
+
+    def reset_clock(self) -> None:
+        """Forget the busy-until watermark (between independent replays)."""
+        self._busy_until = float("-inf")
+
+    def _execute(self, batch: List[ServeRequest], flush_time: float) -> None:
+        flush_time = max(flush_time, self._busy_until)
+        start = time.perf_counter()
+        version = self.graph.version
+        embeddings: Dict[int, np.ndarray] = {}
+        hit: Dict[int, bool] = {}
+        for request in batch:
+            if request.node in embeddings:
+                continue
+            cached = self.cache.get(request.node, version)
+            if cached is not None:
+                embeddings[request.node] = cached
+                hit[request.node] = True
+            else:
+                embedding = self._compute_embedding(request.node)
+                self.cache.put(request.node, version, embedding)
+                embeddings[request.node] = embedding
+                hit[request.node] = False
+        classify_requests = [r for r in batch if r.kind == "classify"]
+        predictions: Dict[int, int] = {}
+        if classify_requests:
+            nodes = list(dict.fromkeys(r.node for r in classify_requests))
+            stacked = np.stack([embeddings[node] for node in nodes])
+            if hasattr(self.classifier, "predict_from_embeddings"):
+                classes = self.classifier.predict_from_embeddings(stacked)
+            else:
+                classes = self.classifier.predict(
+                    np.asarray(nodes), graph=self.graph
+                )
+            predictions = {node: int(cls) for node, cls in zip(nodes, classes)}
+        completion = flush_time + (time.perf_counter() - start)
+        self._busy_until = completion
+        self.telemetry.record_batch(len(batch))
+        for request in batch:
+            value: Union[int, np.ndarray]
+            if request.kind == "classify":
+                value = predictions[request.node]
+            else:
+                value = embeddings[request.node]
+            self._finish(
+                request, value, completion,
+                cache_hit=hit[request.node], batch_size=len(batch),
+            )
+
+    def _finish(
+        self,
+        request: ServeRequest,
+        value: Union[int, np.ndarray],
+        completion: float,
+        *,
+        cache_hit: bool,
+        batch_size: int,
+    ) -> None:
+        self._results[request.request_id] = ServeResult(
+            request_id=request.request_id,
+            node=request.node,
+            kind=request.kind,
+            value=value,
+            arrival=request.arrival,
+            completion=completion,
+            cache_hit=cache_hit,
+        )
+        self.telemetry.record_request(
+            RequestRecord(
+                node=request.node,
+                arrival=request.arrival,
+                completion=completion,
+                cache_hit=cache_hit,
+                batch_size=batch_size,
+            )
+        )
+
+    @staticmethod
+    def _now(now: Optional[float]) -> float:
+        return time.perf_counter() if now is None else float(now)

@@ -1,0 +1,141 @@
+"""Serving telemetry: latency, queue depth, batch occupancy, cache hit-rate.
+
+The recorder is a plain accumulator the server feeds as requests complete;
+:meth:`Telemetry.summary` reduces it to the numbers a capacity planner
+actually looks at — percentile latencies (p50/p95/p99), throughput over the
+observed span, mean batch occupancy and cache hit-rate.  Everything is
+deterministic given the same request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 for an empty series.
+
+    Nearest-rank keeps the answer an *observed* latency — the convention of
+    serving dashboards — instead of an interpolated value no request paid.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class RequestRecord:
+    """One completed request, as the telemetry layer sees it."""
+
+    node: int
+    arrival: float
+    completion: float
+    cache_hit: bool
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class Telemetry:
+    """Accumulates per-request records and queue/batch samples."""
+
+    requests: List[RequestRecord] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    queue_depths: List[int] = field(default_factory=list)
+    max_batch_size: int = 1
+
+    # -- recording ------------------------------------------------------
+
+    def record_request(self, record: RequestRecord) -> None:
+        self.requests.append(record)
+
+    def record_batch(self, size: int) -> None:
+        self.batch_sizes.append(size)
+
+    def record_queue_depth(self, depth: int) -> None:
+        self.queue_depths.append(depth)
+
+    def reset(self) -> None:
+        """Clear all records (e.g. between a warmup and a measured pass)."""
+        self.requests.clear()
+        self.batch_sizes.clear()
+        self.queue_depths.clear()
+
+    # -- reductions -----------------------------------------------------
+
+    @property
+    def latencies(self) -> List[float]:
+        return [record.latency for record in self.requests]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(record.cache_hit for record in self.requests)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.requests) - self.cache_hits
+
+    def hit_rate(self) -> float:
+        return self.cache_hits / len(self.requests) if self.requests else 0.0
+
+    def throughput(self) -> float:
+        """Completed requests per second over the observed span."""
+        if not self.requests:
+            return 0.0
+        start = min(record.arrival for record in self.requests)
+        stop = max(record.completion for record in self.requests)
+        span = stop - start
+        return len(self.requests) / span if span > 0 else float("inf")
+
+    def mean_occupancy(self) -> float:
+        """Mean batch fill fraction relative to the configured maximum."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / (len(self.batch_sizes) * self.max_batch_size)
+
+    def summary(self) -> Dict[str, float]:
+        latencies = self.latencies
+        return {
+            "requests": len(self.requests),
+            "throughput_rps": self.throughput(),
+            "latency_mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+            "latency_p50_s": percentile(latencies, 50),
+            "latency_p95_s": percentile(latencies, 95),
+            "latency_p99_s": percentile(latencies, 99),
+            "batches": len(self.batch_sizes),
+            "batch_occupancy": self.mean_occupancy(),
+            "mean_queue_depth": (
+                sum(self.queue_depths) / len(self.queue_depths)
+                if self.queue_depths
+                else 0.0
+            ),
+            "cache_hit_rate": self.hit_rate(),
+        }
+
+    def format_report(self, title: Optional[str] = None) -> str:
+        """Human-readable report block (the serve-bench output)."""
+        stats = self.summary()
+        lines = []
+        if title:
+            lines += [title, "-" * len(title)]
+        lines += [
+            f"requests          {int(stats['requests'])}",
+            f"throughput        {stats['throughput_rps']:.1f} req/s",
+            f"latency mean      {stats['latency_mean_s'] * 1e3:.3f} ms",
+            f"latency p50       {stats['latency_p50_s'] * 1e3:.3f} ms",
+            f"latency p95       {stats['latency_p95_s'] * 1e3:.3f} ms",
+            f"latency p99       {stats['latency_p99_s'] * 1e3:.3f} ms",
+            f"batches           {int(stats['batches'])}"
+            f" (occupancy {stats['batch_occupancy'] * 100:.0f}%)",
+            f"mean queue depth  {stats['mean_queue_depth']:.2f}",
+            f"cache hit rate    {stats['cache_hit_rate'] * 100:.1f}%",
+        ]
+        return "\n".join(lines)

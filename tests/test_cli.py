@@ -24,6 +24,16 @@ class TestCli:
         assert "micro-F1" in out
         assert "s/epoch" in out
 
+    def test_serve_bench_reports_latency_and_cache(self, capsys):
+        assert main([
+            "serve-bench", "--dataset", "acm", "--epochs", "1",
+            "--requests", "60", "--scale", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        for marker in ("p50", "p95", "p99", "throughput", "occupancy",
+                       "cache hit rate", "warm-cache mean latency"):
+            assert marker in out, f"serve-bench output missing {marker!r}"
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

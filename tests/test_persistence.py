@@ -14,18 +14,33 @@ def acm():
 
 
 class TestPersistence:
-    def test_widen_roundtrip_preserves_predictions(self, acm, tmp_path):
+    def test_widen_checkpoint_roundtrip(self, acm, tmp_path):
+        """WidenClassifier.save/load round-trips parameters AND the
+        hyperparameters/schema, so no build-only ``fit(epochs=0)`` hack is
+        needed to reconstruct the architecture."""
         model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
         model.fit(acm.graph, acm.split.train[:48], epochs=3)
-        before = model.predict(acm.split.test[:40])
         path = tmp_path / "widen.npz"
+        model.save(path)
+
+        fresh = WidenClassifier.load(path, graph=acm.graph)
+        assert fresh.config == model.config
+        for name, value in model.model.state_dict().items():
+            np.testing.assert_allclose(fresh.model.state_dict()[name], value)
+        # The restored classifier predicts without ever calling fit().
+        predictions = fresh.predict(acm.split.test[:40])
+        assert predictions.shape == (40,)
+
+    def test_widen_module_layer_still_works(self, acm, tmp_path):
+        """The low-level Module.save/load layer stays available underneath."""
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=1)
+        path = tmp_path / "widen-params.npz"
         model.model.save(path)
 
         fresh = WidenClassifier(seed=99, dim=16, num_wide=6, num_deep=5)
         fresh.fit(acm.graph, acm.split.train[:48], epochs=0)  # build only
         fresh.model.load(path)
-        # Predictions must match when the neighbor sampling matches; reuse
-        # the original trainer's stores by comparing raw classifier weights.
         for name, value in model.model.state_dict().items():
             np.testing.assert_allclose(fresh.model.state_dict()[name], value)
 
@@ -52,3 +67,11 @@ class TestPersistence:
         big.fit(acm.graph, acm.split.train[:16], epochs=0)
         with pytest.raises(ValueError):
             big.model.load(path)
+
+    def test_classifier_load_rejects_bare_parameter_file(self, acm, tmp_path):
+        model = WidenClassifier(seed=0, dim=8, num_wide=4, num_deep=3)
+        model.fit(acm.graph, acm.split.train[:16], epochs=1)
+        path = tmp_path / "params-only.npz"
+        model.model.save(path)  # Module layer: no metadata entry
+        with pytest.raises(ValueError, match="bare parameter file"):
+            WidenClassifier.load(path)

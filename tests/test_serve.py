@@ -1,0 +1,461 @@
+"""The ``repro.serve`` subsystem: registry, batcher, cache, server, loadgen.
+
+Everything here is deterministic under fixed seeds: the server computes
+cache misses with an rng keyed on ``(server seed, graph version, node id)``,
+so two servers over equal graphs return byte-identical answers regardless
+of request order, batching boundaries or cache history — which is what lets
+the mutation tests assert exact equality against a cold server instead of a
+statistical similarity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WidenClassifier
+from repro.datasets import make_acm
+from repro.graph import GraphBuilder
+from repro.nn import Linear, Module
+from repro.serve import (
+    EmbeddingCache,
+    InferenceServer,
+    MicroBatcher,
+    ModelRegistry,
+    ServeRequest,
+    Telemetry,
+    cold_single_requests,
+    make_trace,
+    percentile,
+    replay,
+)
+from repro.serve.telemetry import RequestRecord
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0, scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def trained(acm):
+    model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+    model.fit(acm.graph, acm.split.train[:40], epochs=2)
+    return model
+
+
+def fresh_acm_server(checkpoint_path, *, seed=7, **server_kwargs):
+    """A server over a freshly generated (identical) ACM graph."""
+    graph = make_acm(seed=0, scale=0.5).graph
+    classifier = WidenClassifier.load(checkpoint_path, graph=graph)
+    return InferenceServer(classifier, graph, seed=seed, **server_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Model registry / checkpoint round-trip
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_roundtrip_restores_weights_config_and_seed(self, trained, acm, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        path = registry.save("widen-acm", trained)
+        assert path.exists()
+        assert registry.list() == ["widen-acm"]
+        assert "widen-acm" in registry
+
+        loaded = registry.load("widen-acm")
+        assert loaded.config == trained.config
+        assert loaded._seed == 0
+        for name, value in trained.model.state_dict().items():
+            np.testing.assert_array_equal(loaded.model.state_dict()[name], value)
+
+    def test_loaded_model_serves_without_fit(self, trained, acm, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("widen-acm", trained)
+        loaded = registry.load("widen-acm", graph=acm.graph)
+        predictions = loaded.predict(acm.split.test[:20])
+        assert predictions.shape == (20,)
+        assert set(predictions.tolist()) <= set(range(acm.graph.num_classes))
+
+    def test_load_is_deterministic(self, trained, acm, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("widen-acm", trained)
+        first = registry.load("widen-acm", graph=acm.graph).predict(acm.split.test[:30])
+        second = registry.load("widen-acm", graph=acm.graph).predict(acm.split.test[:30])
+        np.testing.assert_array_equal(first, second)
+
+    def test_describe_reads_metadata_without_weights(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("widen-acm", trained)
+        meta = registry.describe("widen-acm")
+        assert meta["class"] == "widen"
+        assert meta["config"]["dim"] == 16
+        assert meta["schema"]["num_classes"] == 3
+
+    def test_missing_name_lists_registered(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(FileNotFoundError, match="no checkpoint named"):
+            registry.load("ghost")
+
+    def test_schema_mismatch_rejected_at_bind(self, trained, tmp_path):
+        from repro.datasets import make_dblp
+
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save("widen-acm", trained)
+        dblp = make_dblp(seed=0, scale=0.5)
+        with pytest.raises(ValueError, match="schema mismatch"):
+            registry.load("widen-acm", graph=dblp.graph)
+
+    def test_save_requires_built_model(self, tmp_path):
+        with pytest.raises(RuntimeError, match="nothing to save"):
+            WidenClassifier(seed=0).save(tmp_path / "empty.npz")
+
+    def test_module_load_names_mismatched_keys(self, tmp_path):
+        class Small(Module):
+            def __init__(self):
+                super().__init__()
+                self.alpha = Linear(3, 2, rng=0)
+
+        class Renamed(Module):
+            def __init__(self):
+                super().__init__()
+                self.beta = Linear(3, 2, rng=0)
+
+        path = tmp_path / "small.npz"
+        Small().save(path)
+        with pytest.raises(ValueError) as excinfo:
+            Renamed().load(path)
+        message = str(excinfo.value)
+        assert "beta" in message and "alpha" in message
+        assert "missing" in message and "unexpected" in message
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher
+# ----------------------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_size_trigger_flushes_exactly_at_capacity(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait=10.0)
+        for i in range(3):
+            assert batcher.submit(ServeRequest(i, i, 0.0)) is None
+        batch = batcher.submit(ServeRequest(3, 3, 0.0))
+        assert batch is not None and len(batch) == 4
+        assert batcher.depth == 0
+
+    def test_deadline_trigger_uses_oldest_arrival(self):
+        batcher = MicroBatcher(max_batch_size=100, max_wait=0.01)
+        batcher.submit(ServeRequest(0, 5, arrival=1.000))
+        batcher.submit(ServeRequest(1, 6, arrival=1.005))
+        assert batcher.poll(1.005) is None  # oldest has waited 5ms < 10ms
+        batch = batcher.poll(1.010)  # oldest hits the deadline exactly
+        assert batch is not None and [r.node for r in batch] == [5, 6]
+        assert batcher.poll(99.0) is None  # queue drained
+
+    def test_flush_drains_in_capacity_chunks(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait=10.0)
+        batcher._queue.extend(ServeRequest(i, i, 0.0) for i in range(5))
+        sizes = []
+        while (batch := batcher.flush()) is not None:
+            sizes.append(len(batch))
+        assert sizes == [2, 2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Embedding cache
+# ----------------------------------------------------------------------
+
+
+class TestEmbeddingCache:
+    def test_lru_evicts_least_recently_used(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put(1, 0, np.ones(4))
+        cache.put(2, 0, np.full(4, 2.0))
+        assert cache.get(1, 0) is not None  # touch 1 -> 2 is now LRU
+        cache.put(3, 0, np.full(4, 3.0))
+        assert cache.get(2, 0) is None
+        assert cache.get(1, 0) is not None
+        assert cache.get(3, 0) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_version_key_makes_stale_reads_impossible(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put(1, 0, np.ones(4))
+        assert cache.get(1, 0) is not None
+        # After a graph-version bump nothing at the new version is resident,
+        # even though the old entry still physically exists.
+        assert cache.get(1, 1) is None
+        assert (1, 0) in cache
+
+    def test_invalidate_keep_version_drops_dead_entries(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put(1, 0, np.ones(4))
+        cache.put(2, 0, np.ones(4))
+        cache.put(3, 1, np.ones(4))
+        assert cache.invalidate(keep_version=1) == 2
+        assert len(cache) == 1
+        assert (3, 1) in cache
+
+    def test_invalidate_specific_nodes(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put(1, 0, np.ones(4))
+        cache.put(1, 1, np.ones(4))
+        cache.put(2, 1, np.ones(4))
+        assert cache.invalidate(nodes=[1]) == 2
+        assert (2, 1) in cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_nearest_rank_percentiles(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_summary_reductions(self):
+        telemetry = Telemetry(max_batch_size=4)
+        for i, hit in enumerate([True, False, True, True]):
+            telemetry.record_request(
+                RequestRecord(
+                    node=i, arrival=float(i), completion=float(i) + 0.5,
+                    cache_hit=hit, batch_size=2,
+                )
+            )
+        telemetry.record_batch(2)
+        telemetry.record_batch(4)
+        stats = telemetry.summary()
+        assert stats["requests"] == 4
+        assert stats["latency_mean_s"] == pytest.approx(0.5)
+        assert stats["cache_hit_rate"] == pytest.approx(0.75)
+        assert stats["batch_occupancy"] == pytest.approx((2 + 4) / (2 * 4))
+        # span = first arrival (0.0) .. last completion (3.5)
+        assert stats["throughput_rps"] == pytest.approx(4 / 3.5)
+        report = telemetry.format_report("pass")
+        assert "p99" in report and "cache hit rate" in report
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_trace_is_deterministic_and_well_formed(self):
+        pool = np.arange(100, 150)
+        first = make_trace(pool, 200, rate=500.0, rng=9)
+        second = make_trace(pool, 200, rate=500.0, rng=9)
+        assert [(e.time, e.node) for e in first] == [
+            (e.time, e.node) for e in second
+        ]
+        times = np.array([e.time for e in first])
+        assert (np.diff(times) > 0).all()
+        assert all(100 <= e.node < 150 for e in first)
+
+    def test_zipf_skews_popularity_toward_the_head(self):
+        pool = np.arange(50)
+        trace = make_trace(pool, 1000, rate=500.0, zipf_exponent=1.3, rng=0)
+        counts = np.bincount([e.node for e in trace], minlength=50)
+        assert counts[:5].sum() > counts[25:].sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_trace([], 10)
+        with pytest.raises(ValueError):
+            make_trace([1], 0)
+        with pytest.raises(ValueError):
+            make_trace([1], 10, rate=0.0)
+
+
+# ----------------------------------------------------------------------
+# Inference server
+# ----------------------------------------------------------------------
+
+
+class TestInferenceServer:
+    def test_serves_checkpoint_and_matches_across_servers(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        nodes = acm.split.test[:12]
+        a = fresh_acm_server(path).classify(nodes)
+        b = fresh_acm_server(path).classify(nodes)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batching_is_invisible_in_results(self, trained, acm, tmp_path):
+        """Same answers whether requests coalesce into one batch or many."""
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        nodes = acm.split.test[:10]
+        batched = fresh_acm_server(path, max_batch_size=16).classify(nodes)
+        unbatched = fresh_acm_server(path, max_batch_size=1).classify(nodes)
+        np.testing.assert_array_equal(batched, unbatched)
+
+    def test_cache_hit_path_returns_identical_values(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        nodes = acm.split.test[:8]
+        cold_embeddings = server.embed(nodes)
+        warm_embeddings = server.embed(nodes)
+        np.testing.assert_array_equal(cold_embeddings, warm_embeddings)
+        assert server.cache.hits >= len(nodes)
+
+    def test_deadline_flush_during_replay(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path, max_batch_size=64, max_wait=0.001)
+        trace = make_trace(acm.split.test[:30], 60, rate=200.0, rng=1)
+        stats = replay(server, trace)
+        assert stats["requests"] == 60
+        assert stats["batches"] >= 1  # deadline fired; size never reached 64
+        assert stats["latency_p99_s"] > 0
+
+    def test_result_is_pending_until_flush(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path, max_batch_size=8, max_wait=100.0)
+        request_id = server.submit(int(acm.split.test[0]), now=0.0)
+        with pytest.raises(KeyError, match="no result yet"):
+            server.result(request_id)
+        server.drain(0.0)
+        result = server.result(request_id)
+        assert result.kind == "classify"
+        assert isinstance(result.value, int)
+
+    def test_rejects_out_of_range_and_bad_kind(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        with pytest.raises(IndexError):
+            server.submit(acm.graph.num_nodes + 5)
+        with pytest.raises(ValueError):
+            server.submit(0, kind="frobnicate")
+
+
+class TestMutationInvalidation:
+    """Streaming arrivals must invalidate caches — and nothing stale may
+    ever be served across a ``graph_version`` bump."""
+
+    def _mutate(self, server, acm):
+        """One streamed paper arrival wired to the first two test papers."""
+        graph = server.graph
+        papers = graph.nodes_of_type("paper")
+        new = server.add_nodes(
+            "paper", features=graph.features[papers[0]].reshape(1, -1)
+        )
+        server.add_edges(
+            graph.edge_type_names[0],
+            np.array([new[0], new[0]]),
+            np.asarray(acm.split.test[:2], dtype=np.int64),
+        )
+        return new[0]
+
+    def test_version_bump_empties_cache(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        nodes = acm.split.test[:6]
+        server.classify(nodes)
+        assert len(server.cache) == 6
+        version_before = server.graph.version
+        self._mutate(server, acm)
+        assert server.graph.version > version_before
+        assert len(server.cache) == 0  # dead-version entries dropped eagerly
+
+    def test_stale_reads_impossible_after_bump(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        node = int(acm.split.test[0])
+        server.embed([node])
+        hits_before = server.cache.hits
+        self._mutate(server, acm)
+        server.embed([node])  # same node, new version -> must recompute
+        assert server.cache.hits == hits_before
+        assert server.cache.misses >= 2
+
+    def test_mutated_server_equals_cold_server(self, trained, acm, tmp_path):
+        """Serving through mutation == a cold server on the mutated graph.
+
+        Both servers see byte-identical graphs at the same version, so the
+        deterministic serving path must produce identical predictions —
+        proving the first server retained nothing stale."""
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        nodes = np.concatenate([acm.split.test[:10]])
+
+        warm = fresh_acm_server(path)
+        warm.classify(nodes)          # populate the cache pre-mutation
+        new_id = self._mutate(warm, acm)
+        warm_predictions = warm.classify(np.append(nodes, new_id))
+
+        cold = fresh_acm_server(path)  # identical graph, never served
+        self._mutate(cold, acm)
+        cold_predictions = cold.classify(np.append(nodes, new_id))
+
+        np.testing.assert_array_equal(warm_predictions, cold_predictions)
+
+    def test_new_node_is_immediately_servable(self, trained, acm, tmp_path):
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        new_id = self._mutate(server, acm)
+        prediction = server.classify([new_id])
+        assert prediction.shape == (1,)
+        assert 0 <= prediction[0] < acm.graph.num_classes
+
+    def test_embeddings_reflect_new_edges(self, trained, acm, tmp_path):
+        """The recomputed embedding actually depends on the mutated graph:
+        wiring a hub of new edges into a node changes its neighborhood and
+        therefore (generically) its embedding."""
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        server = fresh_acm_server(path)
+        node = int(acm.split.test[0])
+        before = server.embed([node])[0].copy()
+        graph = server.graph
+        authors = graph.nodes_of_type("author")[:8]
+        server.add_edges(
+            graph.edge_type_names[0],
+            np.full(authors.size, node, dtype=np.int64),
+            authors.astype(np.int64),
+        )
+        after = server.embed([node])[0]
+        assert not np.array_equal(before, after)
+
+
+class TestReplayComparison:
+    def test_warm_cache_beats_cold_single_requests(self, trained, acm, tmp_path):
+        """The acceptance-criterion shape: warm-cache mean latency on a
+        replayed trace is below the single-request cold path's."""
+        path = tmp_path / "widen.npz"
+        trained.save(path)
+        graph = make_acm(seed=0, scale=0.5).graph
+        classifier = WidenClassifier.load(path, graph=graph)
+        server = InferenceServer(classifier, graph, max_batch_size=8, seed=7)
+
+        trace = make_trace(acm.split.test[:40], 120, rate=400.0, rng=3)
+        cold = cold_single_requests(classifier, graph, trace, seed=7)
+        replay(server, trace)                 # warms the cache
+        warm = replay(server, trace)          # measured pass
+        assert warm["cache_hit_rate"] == 1.0
+        assert warm["latency_mean_s"] < cold["latency_mean_s"]
