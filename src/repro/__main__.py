@@ -14,6 +14,14 @@ Commands
     Poisson/Zipf arrival trace, and print a latency/throughput report:
     cold single-request baseline vs. the batched server (cold cache) vs.
     the batched server (warm cache).
+``profile [dataset] [--epochs N] [--trace-out F] [--metrics-out F]``
+    Train WIDEN under the :mod:`repro.obs` instrumentation: prints an
+    op-level time/FLOP table and the per-epoch message-volume series, and
+    writes a Chrome-loadable ``trace.json`` plus a ``metrics.jsonl`` with
+    per-epoch loss/F1/message-volume/KL-trigger series.
+
+``train`` and ``serve-bench`` additionally accept ``--metrics-out FILE`` to
+dump the shared metrics registry as JSONL after the run.
 """
 
 from __future__ import annotations
@@ -49,6 +57,71 @@ def _cmd_train(args: argparse.Namespace) -> int:
     score = micro_f1(dataset.graph.labels[dataset.split.test], predictions)
     print(f"widen on {dataset.name}: micro-F1 {score:.4f} "
           f"({np.mean(model.epoch_seconds):.3f} s/epoch)")
+    _maybe_dump_metrics(args)
+    return 0
+
+
+def _maybe_dump_metrics(args: argparse.Namespace) -> None:
+    if getattr(args, "metrics_out", None):
+        from repro.obs import get_registry
+
+        count = get_registry().dump_jsonl(args.metrics_out)
+        print(f"wrote {count} metric records to {args.metrics_out}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core import WidenClassifier
+    from repro.datasets import make_dataset
+    from repro.obs import (
+        MetricsRegistry, OpProfiler, Tracer, set_registry, set_tracer,
+    )
+
+    dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    # Fresh registry + enabled tracer for the duration of the run, so the
+    # dumps contain exactly this training run.
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True)
+    previous_registry = set_registry(registry)
+    previous_tracer = set_tracer(tracer)
+    profiler = OpProfiler()
+    model = WidenClassifier(seed=args.seed)
+    print(f"profiling widen on {dataset.name} ({args.epochs} epochs) ...\n")
+    try:
+        with profiler:
+            model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
+    finally:
+        profiler.disable()
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)
+    profiler.export(registry)
+
+    print("op-level profile (self-time, analytic FLOPs)")
+    print(profiler.table())
+
+    history = model.trainer.history
+    print("\nper-epoch training series")
+    header = (
+        f"{'epoch':>5} {'loss':>8} {'microF1':>8} {'wide msgs':>10} "
+        f"{'deep msgs':>10} {'drops':>6} {'KL fires':>9} {'sec':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for epoch in range(history.epochs):
+        print(
+            f"{epoch:>5} {history.losses[epoch]:>8.4f} "
+            f"{history.train_micro_f1[epoch]:>8.4f} "
+            f"{history.wide_messages[epoch]:>10} "
+            f"{history.deep_messages[epoch]:>10} "
+            f"{history.wide_drops[epoch] + history.deep_drops[epoch]:>6} "
+            f"{history.trigger_fires[epoch]:>9} "
+            f"{history.epoch_seconds[epoch]:>7.3f}"
+        )
+
+    events = tracer.write_chrome_trace(args.trace_out)
+    records = registry.dump_jsonl(args.metrics_out)
+    print(f"\nwrote {events} trace events to {args.trace_out} "
+          f"(load via chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote {records} metric records to {args.metrics_out}")
     return 0
 
 
@@ -141,12 +214,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"cold single-request baseline "
               f"({warm['latency_mean_s'] * 1e3:.3f} ms vs "
               f"{cold['latency_mean_s'] * 1e3:.3f} ms)")
+    _maybe_dump_metrics(args)
     return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    parser.add_argument("command", choices=("stats", "train", "compare", "serve-bench"))
+    parser.add_argument(
+        "command", choices=("stats", "train", "compare", "serve-bench", "profile")
+    )
     parser.add_argument("dataset", nargs="?", default=None,
                         help="acm | dblp | yelp (default: all for stats, acm otherwise)")
     parser.add_argument("--dataset", dest="dataset_flag", default=None,
@@ -154,6 +230,12 @@ def main(argv=None) -> int:
     parser.add_argument("--epochs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--metrics-out", default=None,
+                     help="dump the metrics registry as JSONL to this path "
+                          "(default for profile: metrics.jsonl)")
+    obs.add_argument("--trace-out", default="trace.json",
+                     help="profile: Chrome trace_event output path")
     serve = parser.add_argument_group("serve-bench")
     serve.add_argument("--requests", type=int, default=400,
                        help="trace length (arrivals to replay)")
@@ -169,11 +251,14 @@ def main(argv=None) -> int:
                        help="embedding cache entries")
     args = parser.parse_args(argv)
     args.dataset = args.dataset or args.dataset_flag
+    if args.command == "profile" and args.metrics_out is None:
+        args.metrics_out = "metrics.jsonl"
     handlers = {
         "stats": _cmd_stats,
         "train": _cmd_train,
         "compare": _cmd_compare,
         "serve-bench": _cmd_serve_bench,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -21,7 +21,7 @@ import numpy as np
 from repro.graph import HeteroGraph
 from repro.nn import Module
 from repro.tensor import no_grad
-from repro.utils.timing import Timer
+from repro.obs import Timer
 
 
 def sample_neighbor_matrix(

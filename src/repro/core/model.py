@@ -39,6 +39,7 @@ from repro.nn import (
     SelfAttention,
     causal_mask,
 )
+from repro.obs.tracing import span as trace_span
 from repro.tensor import Tensor, functional as F, ops
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -250,40 +251,45 @@ class WidenModel(Module):
         cache: _EmbedCache = {}
         d = config.dim
 
-        wide_attention: Optional[np.ndarray] = None
-        if config.use_wide:
-            packs = self.pack_wide(target, state.wide, graph, node_state)
-            packs = self.pack_dropout(packs)
-            h_wide, weights = self.wide_pass(packs[0], packs)
-            wide_attention = weights.data.copy()
-        else:
-            h_wide = Tensor(np.zeros(d))
+        with trace_span("widen.forward"):
+            wide_attention: Optional[np.ndarray] = None
+            if config.use_wide:
+                with trace_span("widen.wide_pass", packs=len(state.wide) + 1):
+                    packs = self.pack_wide(target, state.wide, graph, node_state)
+                    packs = self.pack_dropout(packs)
+                    h_wide, weights = self.wide_pass(packs[0], packs)
+                    wide_attention = weights.data.copy()
+            else:
+                h_wide = Tensor(np.zeros(d))
 
-        deep_attentions: List[np.ndarray] = []
-        if config.use_deep:
-            h_walks: List[Tensor] = []
-            for deep in state.deep:
-                packs = self.pack_deep(target, deep, graph, node_state, cache)
-                packs = self.pack_dropout(packs)
-                if config.use_successive:
-                    refined, _ = self.deep_successive(
-                        packs, mask=causal_mask(len(deep) + 1)
-                    )
-                else:
-                    # Table-4 ablation: deep passing degenerates to plain
-                    # attentive aggregation of the raw packs.
-                    refined = packs
-                h_walk, weights = self.deep_pass(packs[0], refined, values=packs)
-                deep_attentions.append(weights.data.copy())
-                h_walks.append(h_walk)
-            stacked = ops.stack(h_walks)
-            h_deep = ops.mean(stacked, axis=0)  # average pooling over Φ walks
-        else:
-            h_deep = Tensor(np.zeros(d))
+            deep_attentions: List[np.ndarray] = []
+            if config.use_deep:
+                h_walks: List[Tensor] = []
+                for deep in state.deep:
+                    with trace_span("widen.deep_pass", packs=len(deep) + 1):
+                        packs = self.pack_deep(target, deep, graph, node_state, cache)
+                        packs = self.pack_dropout(packs)
+                        if config.use_successive:
+                            refined, _ = self.deep_successive(
+                                packs, mask=causal_mask(len(deep) + 1)
+                            )
+                        else:
+                            # Table-4 ablation: deep passing degenerates to plain
+                            # attentive aggregation of the raw packs.
+                            refined = packs
+                        h_walk, weights = self.deep_pass(
+                            packs[0], refined, values=packs
+                        )
+                        deep_attentions.append(weights.data.copy())
+                        h_walks.append(h_walk)
+                stacked = ops.stack(h_walks)
+                h_deep = ops.mean(stacked, axis=0)  # average pooling over Φ walks
+            else:
+                h_deep = Tensor(np.zeros(d))
 
-        hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=0)))
-        hidden = self.hidden_dropout(hidden)
-        embedding = F.l2_normalize(hidden, axis=-1)
+            hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=0)))
+            hidden = self.hidden_dropout(hidden)
+            embedding = F.l2_normalize(hidden, axis=-1)
         return embedding, wide_attention, deep_attentions
 
     def logits(self, embeddings: Tensor) -> Tensor:

@@ -26,25 +26,51 @@ from repro.core.config import WidenConfig
 from repro.core.model import WidenModel
 from repro.core.relay import prune_deep, shrink_wide
 from repro.core.state import NeighborState, NeighborStateStore
+from repro.eval.metrics import macro_f1, micro_f1
 from repro.graph import HeteroGraph
+from repro.obs import MetricsRegistry, Timer, get_registry
+from repro.obs.tracing import span as trace_span
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, functional as F, no_grad, ops
 from repro.utils.rng import SeedLike, new_rng, spawn_rngs
-from repro.utils.timing import Timer
+
+
+def _entropy(distribution: np.ndarray) -> float:
+    """Shannon entropy of an attention distribution (nats)."""
+    p = np.clip(distribution, 1e-12, None)
+    return float(-(p * np.log(p)).sum())
 
 
 @dataclass
 class TrainHistory:
-    """Per-epoch records produced by :meth:`WidenTrainer.fit`."""
+    """Per-epoch records produced by :meth:`WidenTrainer.fit`.
+
+    ``wide_messages`` / ``deep_messages`` count the message packs that
+    actually flowed through PASS° / PASS▷ that epoch (set size + 1 target
+    pack per forward) — the structural quantity behind the paper's
+    efficiency figures, and what the downsampling tests assert on instead
+    of wall-clock seconds.
+    """
 
     losses: List[float] = field(default_factory=list)
     epoch_seconds: List[float] = field(default_factory=list)
     wide_drops: List[int] = field(default_factory=list)
     deep_drops: List[int] = field(default_factory=list)
+    wide_messages: List[int] = field(default_factory=list)
+    deep_messages: List[int] = field(default_factory=list)
+    trigger_checks: List[int] = field(default_factory=list)
+    trigger_fires: List[int] = field(default_factory=list)
+    train_micro_f1: List[float] = field(default_factory=list)
+    train_macro_f1: List[float] = field(default_factory=list)
 
     @property
     def epochs(self) -> int:
         return len(self.losses)
+
+    @property
+    def messages(self) -> List[int]:
+        """Total packs per epoch (wide + deep)."""
+        return [w + d for w, d in zip(self.wide_messages, self.deep_messages)]
 
 
 class WidenTrainer:
@@ -56,10 +82,14 @@ class WidenTrainer:
         graph: HeteroGraph,
         config: Optional[WidenConfig] = None,
         seed: SeedLike = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.graph = graph
         self.config = config or model.config
+        # Per-epoch scalars/series go to this registry (the process-wide one
+        # unless a private registry is injected, e.g. by tests).
+        self.registry = registry if registry is not None else get_registry()
         sample_rng, self._shuffle_rng, self._drop_rng = spawn_rngs(seed, 3)
         self.store = NeighborStateStore(
             graph,
@@ -75,6 +105,25 @@ class WidenTrainer:
         )
         self.history = TrainHistory()
         self._epoch = 0
+        # Hoisted instruments: one dict lookup at construction, plain
+        # attribute access on the per-node hot path.
+        self._wide_entropy = self.registry.histogram(
+            "train_attention_entropy", path="wide"
+        )
+        self._deep_entropy = self.registry.histogram(
+            "train_attention_entropy", path="deep"
+        )
+        self._kl_hist = self.registry.histogram("train_kl_divergence")
+        self._messages_wide_total = self.registry.counter(
+            "train_messages_total", path="wide"
+        )
+        self._messages_deep_total = self.registry.counter(
+            "train_messages_total", path="deep"
+        )
+        # Per-epoch trigger accounting, reset by _run_epoch.
+        self._trigger_checks = 0
+        self._trigger_fired = 0
+        self._kl_values: List[float] = []
         # Algorithm 3's current representations v_t ("replace" mode): every
         # processed node's embedding replaces its row, so neighbors read
         # refined embeddings.  In "project" mode neighbors are fresh feature
@@ -95,50 +144,119 @@ class WidenTrainer:
         labels = self.graph.labels[train_nodes]
         if (labels < 0).any():
             raise ValueError("all training nodes must be labeled")
+        history = self.history
+        registry = self.registry
         for _ in range(epochs):
-            with Timer() as timer:
-                loss, wide_drops, deep_drops = self._run_epoch(train_nodes)
-            self.history.losses.append(loss)
-            self.history.epoch_seconds.append(timer.laps[-1])
-            self.history.wide_drops.append(wide_drops)
-            self.history.deep_drops.append(deep_drops)
+            with trace_span("trainer.epoch", epoch=self._epoch):
+                with Timer() as timer:
+                    loss, stats = self._run_epoch(train_nodes)
+            seconds = timer.laps[-1]
+            epoch = self._epoch
+            history.losses.append(loss)
+            history.epoch_seconds.append(seconds)
+            history.wide_drops.append(stats["wide_drops"])
+            history.deep_drops.append(stats["deep_drops"])
+            history.wide_messages.append(stats["wide_messages"])
+            history.deep_messages.append(stats["deep_messages"])
+            history.trigger_checks.append(stats["trigger_checks"])
+            history.trigger_fires.append(stats["trigger_fires"])
+            history.train_micro_f1.append(stats["micro_f1"])
+            history.train_macro_f1.append(stats["macro_f1"])
+            # Stepped series: the Fig.-4/5-style efficiency story, one point
+            # per epoch, replayable straight out of metrics.jsonl.
+            registry.emit("train/loss", loss, step=epoch)
+            registry.emit("train/epoch_seconds", seconds, step=epoch)
+            registry.emit("train/micro_f1", stats["micro_f1"], step=epoch)
+            registry.emit("train/macro_f1", stats["macro_f1"], step=epoch)
+            registry.emit(
+                "train/messages", stats["wide_messages"], step=epoch, path="wide"
+            )
+            registry.emit(
+                "train/messages", stats["deep_messages"], step=epoch, path="deep"
+            )
+            registry.emit("train/drops", stats["wide_drops"], step=epoch, path="wide")
+            registry.emit("train/drops", stats["deep_drops"], step=epoch, path="deep")
+            registry.emit(
+                "train/kl_trigger_checks", stats["trigger_checks"], step=epoch
+            )
+            registry.emit("train/kl_trigger_fires", stats["trigger_fires"], step=epoch)
+            if stats["kl_mean"] is not None:
+                registry.emit("train/kl_divergence_mean", stats["kl_mean"], step=epoch)
+            self._messages_wide_total.inc(stats["wide_messages"])
+            self._messages_deep_total.inc(stats["deep_messages"])
             self._epoch += 1
         return self.history
 
     def _run_epoch(self, train_nodes: np.ndarray):
         self.model.train()
-        self._refresh_states(train_nodes)
+        with trace_span("trainer.refresh_states"):
+            self._refresh_states(train_nodes)
         order = self._shuffle_rng.permutation(train_nodes.size)
         shuffled = train_nodes[order]
         batch_size = self.config.batch_size
         total_loss = 0.0
         total_nodes = 0
         wide_drops = deep_drops = 0
+        wide_messages = deep_messages = 0
+        self._trigger_checks = 0
+        self._trigger_fired = 0
+        self._kl_values = []
+        count_wide = self.config.use_wide
+        count_deep = self.config.use_deep
+        wide_entropy = self._wide_entropy
+        deep_entropy = self._deep_entropy
+        predictions = np.empty(shuffled.size, dtype=np.int64)
         for start in range(0, shuffled.size, batch_size):
             batch = shuffled[start : start + batch_size]
-            embeddings: List[Tensor] = []
-            for node in batch:
-                state = self.store.get(node)
-                embedding, wide_att, deep_atts = self.model(
-                    int(node), state, self.graph, self.node_state
-                )
-                embeddings.append(embedding)
-                if self.node_state is not None:
-                    # Line 8 of Algorithm 3: the output replaces v_t.
-                    self.node_state[int(node)] = embedding.data
-                dropped = self._maybe_downsample(state, wide_att, deep_atts)
-                wide_drops += dropped[0]
-                deep_drops += dropped[1]
-            logits = self.model.logits(ops.stack(embeddings))
-            loss = F.cross_entropy(logits, self.graph.labels[batch])
-            self.optimizer.zero_grad()
-            loss.backward()
-            if self.config.grad_clip > 0:
-                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-            self.optimizer.step()
-            total_loss += loss.item() * batch.size
-            total_nodes += batch.size
-        return total_loss / max(total_nodes, 1), wide_drops, deep_drops
+            with trace_span("trainer.batch", size=int(batch.size)):
+                embeddings: List[Tensor] = []
+                for node in batch:
+                    state = self.store.get(node)
+                    if count_wide:
+                        # Every pack in M° (wide set + target) is one message
+                        # through PASS° — the unit of Fig. 4's volume axis.
+                        wide_messages += len(state.wide) + 1
+                    if count_deep:
+                        deep_messages += sum(len(deep) + 1 for deep in state.deep)
+                    embedding, wide_att, deep_atts = self.model(
+                        int(node), state, self.graph, self.node_state
+                    )
+                    embeddings.append(embedding)
+                    if self.node_state is not None:
+                        # Line 8 of Algorithm 3: the output replaces v_t.
+                        self.node_state[int(node)] = embedding.data
+                    if wide_att is not None:
+                        wide_entropy.observe(_entropy(wide_att))
+                    for att in deep_atts:
+                        deep_entropy.observe(_entropy(att))
+                    dropped = self._maybe_downsample(state, wide_att, deep_atts)
+                    wide_drops += dropped[0]
+                    deep_drops += dropped[1]
+                logits = self.model.logits(ops.stack(embeddings))
+                loss = F.cross_entropy(logits, self.graph.labels[batch])
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.config.grad_clip > 0:
+                    clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                self.optimizer.step()
+                predictions[start : start + batch.size] = logits.data.argmax(axis=1)
+                total_loss += loss.item() * batch.size
+                total_nodes += batch.size
+        labels = self.graph.labels[shuffled]
+        stats = {
+            "wide_drops": wide_drops,
+            "deep_drops": deep_drops,
+            "wide_messages": wide_messages,
+            "deep_messages": deep_messages,
+            "trigger_checks": self._trigger_checks,
+            "trigger_fires": self._trigger_fired,
+            "kl_mean": (
+                float(np.mean(self._kl_values)) if self._kl_values else None
+            ),
+            "micro_f1": micro_f1(labels, predictions),
+            "macro_f1": macro_f1(labels, predictions),
+        }
+        return total_loss / max(total_nodes, 1), stats
 
     def _refresh_states(self, train_nodes: np.ndarray) -> None:
         """Forward-only embedding refresh for a sample of non-training nodes.
@@ -253,16 +371,31 @@ class WidenTrainer:
         threshold: float,
     ) -> bool:
         """Eq. 9: KL between epochs' attention distributions over the SAME
-        neighbor set; +∞ (no fire) when the set changed."""
+        neighbor set; +∞ (no fire) when the set changed.
+
+        Side accounting for the efficiency story: every actual KL evaluation
+        counts as a *trigger check* (the value lands in the
+        ``train_kl_divergence`` histogram), every ``True`` return as a
+        *trigger fire* — ``metrics.jsonl`` then shows when in training the
+        downsampler became active.
+        """
         if trigger == "never":
             return False
         if trigger == "always":
+            self._trigger_fired += 1
             return True
         if self._epoch < 1 or prev_att is None:
             return False  # Algorithm 3 line 9: only from the second epoch on
         if prev_signature != current_signature or prev_att.shape != current_att.shape:
             return False  # Eq. 9's "+∞ otherwise" branch
-        return F.kl_divergence(prev_att, current_att) < threshold
+        divergence = F.kl_divergence(prev_att, current_att)
+        self._trigger_checks += 1
+        self._kl_values.append(divergence)
+        self._kl_hist.observe(divergence)
+        fired = divergence < threshold
+        if fired:
+            self._trigger_fired += 1
+        return fired
 
     # ------------------------------------------------------------------
     # Inference

@@ -17,6 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
+from repro.obs.tracing import span as trace_span
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -35,18 +36,19 @@ def random_walk(
     exactly the ``e_{s,s-1}`` of Eq. 2.
     """
     rng = new_rng(rng)
-    nodes: List[int] = []
-    etypes: List[int] = []
-    current = start
-    for _ in range(length):
-        neighbors, edge_types = graph.neighbors(current)
-        if neighbors.size == 0:
-            break
-        pick = rng.integers(neighbors.size)
-        current = int(neighbors[pick])
-        nodes.append(current)
-        etypes.append(int(edge_types[pick]))
-    return np.asarray(nodes, dtype=np.int64), np.asarray(etypes, dtype=np.int64)
+    with trace_span("graph.random_walk", start=int(start), length=int(length)):
+        nodes: List[int] = []
+        etypes: List[int] = []
+        current = start
+        for _ in range(length):
+            neighbors, edge_types = graph.neighbors(current)
+            if neighbors.size == 0:
+                break
+            pick = rng.integers(neighbors.size)
+            current = int(neighbors[pick])
+            nodes.append(current)
+            etypes.append(int(edge_types[pick]))
+        return np.asarray(nodes, dtype=np.int64), np.asarray(etypes, dtype=np.int64)
 
 
 def node2vec_walk(

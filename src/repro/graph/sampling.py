@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.random_walk import random_walk
+from repro.obs.tracing import span as trace_span
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -95,14 +96,17 @@ def sample_wide(
     if num_wide < 1:
         raise ValueError(f"num_wide must be >= 1, got {num_wide}")
     rng = new_rng(rng)
-    neighbors, etypes = graph.neighbors(target)
-    if neighbors.size == 0:
-        return WideNeighborSet(target, np.empty(0, np.int64), np.empty(0, np.int64))
-    if neighbors.size >= num_wide:
-        pick = rng.choice(neighbors.size, size=num_wide, replace=False)
-    else:
-        pick = rng.choice(neighbors.size, size=num_wide, replace=True)
-    return WideNeighborSet(target, neighbors[pick], etypes[pick])
+    with trace_span("graph.sample_wide", target=int(target)):
+        neighbors, etypes = graph.neighbors(target)
+        if neighbors.size == 0:
+            return WideNeighborSet(
+                target, np.empty(0, np.int64), np.empty(0, np.int64)
+            )
+        if neighbors.size >= num_wide:
+            pick = rng.choice(neighbors.size, size=num_wide, replace=False)
+        else:
+            pick = rng.choice(neighbors.size, size=num_wide, replace=True)
+        return WideNeighborSet(target, neighbors[pick], etypes[pick])
 
 
 def sample_deep(
@@ -114,5 +118,6 @@ def sample_deep(
     """Sample one deep neighbor sequence: a random walk of length ``num_deep``."""
     if num_deep < 1:
         raise ValueError(f"num_deep must be >= 1, got {num_deep}")
-    nodes, etypes = random_walk(graph, target, num_deep, rng=rng)
-    return DeepNeighborSet(target, nodes, etypes)
+    with trace_span("graph.sample_deep", target=int(target)):
+        nodes, etypes = random_walk(graph, target, num_deep, rng=rng)
+        return DeepNeighborSet(target, nodes, etypes)

@@ -1,0 +1,50 @@
+"""``repro.obs`` — unified observability: metrics, tracing, profiling, timing.
+
+One pipeline for everything the efficiency claims rest on:
+
+- :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` labeled series plus a stepped event log — training
+  (per-epoch loss, F1, message volume, KL-trigger activity) and serving
+  (latency, occupancy, hit rate) report through the same registry and dump
+  to one ``metrics.jsonl``.
+- :class:`Tracer` — nested spans over the hot paths (epochs, batches,
+  model forward, samplers), exportable as Chrome ``trace_event`` JSON and
+  as a JSONL event log.
+- :class:`OpProfiler` — op-level counts, FLOP estimates and
+  forward/backward self-times hooked into the ``repro.tensor`` engine;
+  near-zero overhead while disabled.
+- :class:`Timer` / :func:`time_call` — the wall-clock helpers formerly in
+  ``repro.utils.timing`` (that module remains as a deprecation alias).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    nearest_rank_percentile,
+    set_registry,
+)
+from repro.obs.profiler import OpProfiler, OpStat
+from repro.obs.timing import Timer, time_call
+from repro.obs.tracing import SpanRecord, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "nearest_rank_percentile",
+    "OpProfiler",
+    "OpStat",
+    "Timer",
+    "time_call",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

@@ -1,0 +1,322 @@
+"""Metric primitives and the process-wide registry.
+
+Three instrument kinds, modeled on the Prometheus data model but kept
+in-process (this repo has no scrape endpoint — metrics are dumped to JSONL
+at the end of a run):
+
+- :class:`Counter` — monotonically increasing total (messages processed,
+  trigger fires, cache hits).
+- :class:`Gauge` — a value that can go up and down (queue depth, current
+  neighbor-set size).
+- :class:`Histogram` — a distribution of observations with exact quantiles
+  (latencies, attention entropies, KL divergences).  Observations are kept
+  raw; at this repo's scale (≤ millions of points) exactness beats the
+  memory savings of bucketed sketches.
+
+A :class:`MetricsRegistry` owns labeled *series* of instruments: asking for
+``registry.counter("messages", path="wide")`` twice returns the same object,
+while a different label set names a different series.  The registry also
+keeps an append-only *event log* (:meth:`MetricsRegistry.emit`) for stepped
+time series — per-epoch loss, F1, message volume — which is what makes a
+``metrics.jsonl`` dump replayable into plots.
+
+One process-wide default registry exists so training and serving report
+through one pipeline; create private registries in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label set (sorted by label name)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def nearest_rank_percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 for an empty series.
+
+    Nearest-rank keeps the answer an *observed* value — the convention of
+    serving dashboards — instead of an interpolated value no request paid.
+    """
+    if len(values) == 0:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self._value,
+        }
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self._value,
+        }
+
+
+class Histogram:
+    """Distribution of observations with exact quantiles.
+
+    Two quantile conventions are exposed because the repo needs both:
+
+    - :meth:`quantile` — numpy's linear-interpolation convention
+      (``np.quantile``), the statistics-textbook answer used in analyses.
+    - :meth:`percentile` — nearest-rank, the serving-dashboard convention
+      (every reported latency is one a real request paid).
+    """
+
+    __slots__ = ("name", "labels", "_values", "_sorted")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = False
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        self._values.extend(float(v) for v in values)
+        self._sorted = False
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def min(self) -> float:
+        return self._ordered()[0] if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._ordered()[-1] if self._values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._values) if self._values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile, identical to ``np.quantile``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.quantile(self._ordered(), q))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the observations so far."""
+        return nearest_rank_percentile(self._ordered(), p)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sorted = True
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            **self.summary(),
+        }
+
+
+class MetricsRegistry:
+    """Labeled instrument series plus an append-only event log.
+
+    Series identity is ``(name, labels)`` with labels canonicalized by name,
+    so ``counter("m", a=1, b=2)`` and ``counter("m", b=2, a=1)`` are the same
+    series.  Requesting an existing name with a different instrument kind is
+    an error — one name means one kind, as in every metrics system.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, type] = {}
+        self.events: List[Dict[str, object]] = []
+
+    # -- instruments ----------------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind.__name__}, not {cls.__name__}"
+                )
+            instrument = self._series.get(key)
+            if instrument is None:
+                instrument = cls(name, labels)
+                self._series[key] = instrument
+                self._kinds[name] = cls
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def series(self) -> List[object]:
+        """All registered instruments, in registration order."""
+        return list(self._series.values())
+
+    def get(self, name: str, **labels):
+        """Existing instrument or ``None`` (never creates)."""
+        return self._series.get((name, _label_key(labels)))
+
+    # -- event log (stepped time series) --------------------------------
+
+    def emit(
+        self, name: str, value: float, step: Optional[int] = None, **labels
+    ) -> None:
+        """Append one point of a stepped series (e.g. a per-epoch scalar)."""
+        record: Dict[str, object] = {"name": name, "value": float(value)}
+        if step is not None:
+            record["step"] = int(step)
+        if labels:
+            record["labels"] = {str(k): str(v) for k, v in labels.items()}
+        self.events.append(record)
+
+    def values(self, name: str, **labels) -> List[float]:
+        """All emitted values of one stepped series, in emit order."""
+        want = {str(k): str(v) for k, v in labels.items()} or None
+        return [
+            float(e["value"])
+            for e in self.events
+            if e["name"] == name and e.get("labels") == want
+        ]
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Current state of every instrument (no events)."""
+        return [instrument.snapshot() for instrument in self._series.values()]
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Event log followed by an instrument snapshot — the JSONL payload."""
+        records = [{"kind": "event", **event} for event in self.events]
+        records.extend(self.snapshot())
+        return records
+
+    def dump_jsonl(self, path) -> int:
+        """Write one JSON object per line; returns the record count."""
+        records = self.to_records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        return len(records)
+
+    def reset(self) -> None:
+        """Drop every series and event (between independent runs)."""
+        with self._lock:
+            self._series.clear()
+            self._kinds.clear()
+            self.events.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (training + serving share it)."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous

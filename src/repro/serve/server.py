@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.baselines.common import BaseClassifier
 from repro.graph import HeteroGraph
+from repro.obs import MetricsRegistry, get_registry
 from repro.serve.batcher import MicroBatcher, ServeRequest
 from repro.serve.cache import EmbeddingCache
 from repro.serve.telemetry import RequestRecord, Telemetry
@@ -67,6 +68,7 @@ class InferenceServer:
         max_wait: float = 0.002,
         cache_capacity: int = 1024,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if classifier.graph is None:
             # A freshly loaded checkpoint: bind the serving graph (schema
@@ -82,7 +84,13 @@ class InferenceServer:
         self.seed = int(seed)
         self.batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait)
         self.cache = EmbeddingCache(cache_capacity)
-        self.telemetry = Telemetry(max_batch_size=max_batch_size)
+        # Serving reports into the shared metrics pipeline (repro.obs): the
+        # per-replay reductions stay on this Telemetry object, while the
+        # registry accumulates cross-cutting series next to training's.
+        self.telemetry = Telemetry(
+            max_batch_size=max_batch_size,
+            registry=registry if registry is not None else get_registry(),
+        )
         self._results: Dict[int, ServeResult] = {}
         self._next_id = 0
         # Single-worker service model: a batch cannot start before the

@@ -2,9 +2,17 @@
 
 The recorder is a plain accumulator the server feeds as requests complete;
 :meth:`Telemetry.summary` reduces it to the numbers a capacity planner
-actually looks at — percentile latencies (p50/p95/p99), throughput over the
-observed span, mean batch occupancy and cache hit-rate.  Everything is
-deterministic given the same request stream.
+actually looks at — percentile latencies (p50/p95/p99, plus min/max/count so
+the report is self-describing), throughput over the observed span, mean
+batch occupancy and cache hit-rate.  Everything is deterministic given the
+same request stream.
+
+Percentiles come from the shared :class:`repro.obs.Histogram` (one
+percentile implementation for training and serving); when a
+:class:`~repro.obs.MetricsRegistry` is attached, every record also lands in
+registry series (``serve_latency_seconds``, ``serve_requests_total``,
+``serve_batch_size``, ``serve_queue_depth``), so training and serving report
+through one pipeline and one ``metrics.jsonl``.
 """
 
 from __future__ import annotations
@@ -12,20 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import Histogram, MetricsRegistry, nearest_rank_percentile
+
 
 def percentile(values: Sequence[float], p: float) -> float:
     """Nearest-rank percentile (p in [0, 100]); 0.0 for an empty series.
 
-    Nearest-rank keeps the answer an *observed* latency — the convention of
-    serving dashboards — instead of an interpolated value no request paid.
+    Kept as a thin alias of the shared implementation in
+    :func:`repro.obs.metrics.nearest_rank_percentile` — nearest-rank keeps
+    the answer an *observed* latency (the convention of serving dashboards)
+    instead of an interpolated value no request paid.
     """
-    if not values:
-        return 0.0
-    if not 0.0 <= p <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(values)
-    rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil without floats
-    return ordered[min(rank, len(ordered)) - 1]
+    return nearest_rank_percentile(values, p)
 
 
 @dataclass
@@ -51,20 +57,35 @@ class Telemetry:
     batch_sizes: List[int] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
     max_batch_size: int = 1
+    registry: Optional[MetricsRegistry] = None
 
     # -- recording ------------------------------------------------------
 
     def record_request(self, record: RequestRecord) -> None:
         self.requests.append(record)
+        registry = self.registry
+        if registry is not None:
+            registry.histogram("serve_latency_seconds").observe(record.latency)
+            registry.counter(
+                "serve_requests_total",
+                cache="hit" if record.cache_hit else "miss",
+            ).inc()
 
     def record_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
+        if self.registry is not None:
+            self.registry.histogram("serve_batch_size").observe(size)
 
     def record_queue_depth(self, depth: int) -> None:
         self.queue_depths.append(depth)
+        if self.registry is not None:
+            self.registry.histogram("serve_queue_depth").observe(depth)
 
     def reset(self) -> None:
-        """Clear all records (e.g. between a warmup and a measured pass)."""
+        """Clear local records (e.g. between a warmup and a measured pass).
+
+        Registry series are cumulative by design and left untouched.
+        """
         self.requests.clear()
         self.batch_sizes.clear()
         self.queue_depths.clear()
@@ -101,15 +122,24 @@ class Telemetry:
             return 0.0
         return sum(self.batch_sizes) / (len(self.batch_sizes) * self.max_batch_size)
 
+    def latency_histogram(self) -> Histogram:
+        """The current latencies as a shared :class:`Histogram`."""
+        histogram = Histogram("serve_latency_seconds")
+        histogram.observe_many(self.latencies)
+        return histogram
+
     def summary(self) -> Dict[str, float]:
-        latencies = self.latencies
+        latencies = self.latency_histogram()
         return {
             "requests": len(self.requests),
             "throughput_rps": self.throughput(),
-            "latency_mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
-            "latency_p50_s": percentile(latencies, 50),
-            "latency_p95_s": percentile(latencies, 95),
-            "latency_p99_s": percentile(latencies, 99),
+            "latency_count": latencies.count,
+            "latency_mean_s": latencies.mean,
+            "latency_min_s": latencies.min,
+            "latency_max_s": latencies.max,
+            "latency_p50_s": latencies.percentile(50),
+            "latency_p95_s": latencies.percentile(95),
+            "latency_p99_s": latencies.percentile(99),
             "batches": len(self.batch_sizes),
             "batch_occupancy": self.mean_occupancy(),
             "mean_queue_depth": (
@@ -130,6 +160,9 @@ class Telemetry:
             f"requests          {int(stats['requests'])}",
             f"throughput        {stats['throughput_rps']:.1f} req/s",
             f"latency mean      {stats['latency_mean_s'] * 1e3:.3f} ms",
+            f"latency min/max   {stats['latency_min_s'] * 1e3:.3f} / "
+            f"{stats['latency_max_s'] * 1e3:.3f} ms "
+            f"(n={int(stats['latency_count'])})",
             f"latency p50       {stats['latency_p50_s'] * 1e3:.3f} ms",
             f"latency p95       {stats['latency_p95_s'] * 1e3:.3f} ms",
             f"latency p99       {stats['latency_p99_s'] * 1e3:.3f} ms",

@@ -14,6 +14,7 @@ need it.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -22,6 +23,23 @@ Number = Union[int, float, np.floating, np.integer]
 TensorLike = Union["Tensor", Number, np.ndarray, Sequence]
 
 _GRAD_ENABLED = True
+
+# Op-level profiler hook (see repro.obs.profiler.OpProfiler).  ``from_op`` is
+# the one funnel every forward operation passes through, and ``backward``
+# invokes every recorded closure, so these two sites see the whole engine.
+# When no profiler is installed the cost is one ``is not None`` check.
+_PROFILER = None
+
+
+def set_profiler(profiler) -> None:
+    """Install (or, with ``None``, remove) the op-level profiler hook."""
+    global _PROFILER
+    _PROFILER = profiler
+
+
+def get_profiler():
+    """The currently installed op-level profiler, or ``None``."""
+    return _PROFILER
 
 
 def is_grad_enabled() -> bool:
@@ -112,6 +130,8 @@ class Tensor:
         if needs_grad:
             out._parents = parents
             out._backward = backward
+        if _PROFILER is not None:
+            _PROFILER.record_op(name, out.data, parents)
         return out
 
     def accumulate_grad(self, grad: np.ndarray) -> None:
@@ -155,9 +175,21 @@ class Tensor:
 
         order = self._topological_order()
         self.accumulate_grad(grad)
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        profiler = _PROFILER
+        if profiler is None:
+            for node in reversed(order):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+        else:
+            # Backward closures only touch numpy (they never create tensors),
+            # so per-closure wall time is pure self-time for the op.
+            for node in reversed(order):
+                if node._backward is not None and node.grad is not None:
+                    start = time.perf_counter()
+                    node._backward(node.grad)
+                    profiler.record_backward(
+                        node.name, time.perf_counter() - start
+                    )
 
     def _topological_order(self) -> list:
         """Return nodes reachable from ``self`` in topological order (iterative)."""

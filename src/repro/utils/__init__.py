@@ -1,6 +1,10 @@
-"""Shared utilities: deterministic RNG handling, timing, run logging."""
+"""Shared utilities: deterministic RNG handling.
 
+``Timer`` / ``time_call`` moved to :mod:`repro.obs`; they are re-exported
+here (via the deprecated :mod:`repro.utils.timing` alias) for compatibility.
+"""
+
+from repro.obs.timing import Timer, time_call
 from repro.utils.rng import RngMixin, new_rng, spawn_rngs
-from repro.utils.timing import Timer, time_call
 
 __all__ = ["RngMixin", "new_rng", "spawn_rngs", "Timer", "time_call"]

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -33,6 +35,54 @@ class TestCli:
         for marker in ("p50", "p95", "p99", "throughput", "occupancy",
                        "cache hit rate", "warm-cache mean latency"):
             assert marker in out, f"serve-bench output missing {marker!r}"
+
+    def test_train_metrics_out_dumps_registry(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "train", "acm", "--epochs", "2", "--scale", "0.5",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        records = [
+            json.loads(line)
+            for line in metrics.read_text().splitlines() if line
+        ]
+        assert records, "train --metrics-out wrote an empty file"
+        names = {record["name"] for record in records}
+        assert "train/loss" in names
+        assert "train/messages" in names
+
+    def test_profile_writes_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([
+            "profile", "acm", "--epochs", "2", "--scale", "0.5",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        for marker in ("op-level profile", "matmul", "per-epoch training series",
+                       "wide msgs", "KL fires"):
+            assert marker in out, f"profile output missing {marker!r}"
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert events, "profile wrote an empty Chrome trace"
+        assert all(event["ph"] == "X" for event in events)
+        span_names = {event["name"] for event in events}
+        for expected in ("trainer.epoch", "trainer.batch", "widen.forward",
+                         "graph.sample_wide"):
+            assert expected in span_names
+        records = [
+            json.loads(line)
+            for line in metrics.read_text().splitlines() if line
+        ]
+        names = {record["name"] for record in records}
+        for series in ("train/loss", "train/micro_f1", "train/messages",
+                       "train/kl_trigger_fires", "op_calls"):
+            assert series in names, f"metrics.jsonl missing series {series!r}"
+        # Profiling must uninstall cleanly: the engine is back to stock.
+        from repro.tensor import ops, tensor as tensor_module
+
+        assert tensor_module.get_profiler() is None
+        assert not hasattr(ops.matmul, "__wrapped__")
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

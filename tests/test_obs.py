@@ -1,0 +1,382 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the registry's label semantics, histogram quantiles against numpy
+as the reference implementation, tracer span nesting and export
+round-trips, and the op profiler's record/enable/disable contract —
+including the guard that a *disabled* profiler leaves the tensor engine
+structurally untouched (wrappers removed, hook cleared), which is what
+keeps the overhead near zero.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OpProfiler,
+    Timer,
+    Tracer,
+    get_registry,
+    get_tracer,
+    nearest_rank_percentile,
+    set_registry,
+    set_tracer,
+    span,
+    time_call,
+)
+from repro.obs.tracing import _NULL_SPAN
+from repro.tensor import Tensor, functional as F, ops, tensor as tensor_module
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.dec(1.5)
+        gauge.inc(0.5)
+        assert gauge.value == 3.0
+
+    def test_snapshots_carry_kind_and_labels(self):
+        counter = Counter("c", {"path": "wide"})
+        counter.inc(7)
+        assert counter.snapshot() == {
+            "kind": "counter", "name": "c",
+            "labels": {"path": "wide"}, "value": 7.0,
+        }
+
+
+class TestHistogram:
+    def test_quantile_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=257)
+        histogram = Histogram("h")
+        histogram.observe_many(values)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_percentile_is_an_observed_value(self):
+        values = [0.3, 0.1, 0.2, 0.4]
+        histogram = Histogram("h")
+        histogram.observe_many(values)
+        for p in (1, 25, 50, 75, 99, 100):
+            assert histogram.percentile(p) in values
+
+    def test_nearest_rank_reference_cases(self):
+        # Classic nearest-rank worked example: ranks ceil(p*n/100).
+        values = [15, 20, 35, 40, 50]
+        assert nearest_rank_percentile(values, 30) == 20
+        assert nearest_rank_percentile(values, 40) == 20
+        assert nearest_rank_percentile(values, 50) == 35
+        assert nearest_rank_percentile(values, 100) == 50
+        assert nearest_rank_percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            nearest_rank_percentile(values, 101)
+
+    def test_summary_fields(self):
+        histogram = Histogram("h")
+        histogram.observe_many([3.0, 1.0, 2.0])
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_observe_after_quantile_resorts(self):
+        histogram = Histogram("h")
+        histogram.observe_many([2.0, 3.0])
+        assert histogram.quantile(1.0) == 3.0
+        histogram.observe(1.0)  # lands after the lazy sort
+        assert histogram.min == 1.0
+        assert histogram.percentile(50) == 2.0
+
+    def test_empty_histogram_is_all_zeros(self):
+        histogram = Histogram("h")
+        assert histogram.min == histogram.max == histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_same_name_and_labels_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("m", path="wide") is registry.counter(
+            "m", path="wide"
+        )
+        assert registry.counter("m", path="wide") is not registry.counter(
+            "m", path="deep"
+        )
+
+    def test_label_order_is_canonicalized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", a=1, b=2)
+        b = registry.counter("m", b=2, a=1)
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+    def test_get_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.get("absent") is None
+        registry.gauge("present")
+        assert registry.get("present") is not None
+        assert len(registry.series()) == 1
+
+    def test_emit_and_values(self):
+        registry = MetricsRegistry()
+        registry.emit("loss", 1.5, step=0)
+        registry.emit("loss", 1.0, step=1)
+        registry.emit("messages", 10, step=0, path="wide")
+        assert registry.values("loss") == [1.5, 1.0]
+        assert registry.values("messages", path="wide") == [10.0]
+        assert registry.values("messages") == []  # unlabeled series is distinct
+
+    def test_dump_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.emit("loss", 0.5, step=0)
+        registry.counter("total", path="wide").inc(3)
+        registry.histogram("lat").observe_many([0.1, 0.2])
+        path = tmp_path / "metrics.jsonl"
+        count = registry.dump_jsonl(path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert len(records) == count == 3
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"event", "counter", "histogram"}
+        histogram = next(r for r in records if r["kind"] == "histogram")
+        assert histogram["count"] == 2
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("m").inc()
+        registry.emit("e", 1)
+        registry.reset()
+        assert registry.series() == []
+        assert registry.events == []
+        # After reset the name is free to be re-registered as another kind.
+        registry.histogram("m")
+
+    def test_default_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestTracer:
+    def test_nesting_records_depth_and_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner", k=3):
+                pass
+            with tracer.span("sibling"):
+                pass
+        names = [record.name for record in tracer.spans]
+        assert names == ["outer", "inner", "sibling"]
+        outer, inner, sibling = tracer.spans
+        assert (outer.depth, outer.parent) == (0, -1)
+        assert (inner.depth, inner.parent) == (1, 0)
+        assert (sibling.depth, sibling.parent) == (1, 0)
+        assert inner.args == {"k": 3}
+        # Children fall inside the parent's half-open interval.
+        assert outer.start <= inner.start
+        assert inner.start + inner.duration <= outer.start + outer.duration + 1e-9
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NULL_SPAN
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == []
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", size=4):
+            pass
+        payload = tracer.to_chrome_trace()
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["dur"] >= 0
+        assert event["args"] == {"size": 4}
+        # Must survive JSON serialization (what chrome://tracing loads).
+        json.loads(json.dumps(payload))
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        assert tracer.write_chrome_trace(path) == 1
+        assert len(json.loads(path.read_text())["traceEvents"]) == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", epoch=0):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        restored = Tracer.read_jsonl(path)
+        assert [
+            (r.name, r.depth, r.parent, r.args) for r in restored
+        ] == [
+            (r.name, r.depth, r.parent, r.args) for r in tracer.spans
+        ]
+        for original, copy in zip(tracer.spans, restored):
+            assert copy.start == pytest.approx(original.start)
+            assert copy.duration == pytest.approx(original.duration)
+
+    def test_module_level_span_routes_to_current_tracer(self):
+        tracer = Tracer(enabled=True)
+        previous = set_tracer(tracer)
+        try:
+            with span("library.work"):
+                pass
+        finally:
+            set_tracer(previous)
+        assert [record.name for record in tracer.spans] == ["library.work"]
+        assert get_tracer() is previous
+        # With the (disabled) default restored, span() is free again.
+        assert span("noop") is _NULL_SPAN
+
+
+def small_training_step():
+    """A few-op forward/backward exercising matmul + softmax + reductions."""
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(8, 6)), requires_grad=True)
+    b = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+    out = F.softmax(ops.matmul(a, b))
+    loss = ops.sum(ops.mul(out, out))
+    loss.backward()
+    return loss
+
+
+class TestOpProfiler:
+    def test_records_calls_flops_and_times(self):
+        with OpProfiler() as profiler:
+            small_training_step()
+        stats = profiler.stats
+        assert stats["matmul"].calls == 1
+        # 2 * m * n * k for an (8,6) @ (6,4) product.
+        assert stats["matmul"].flops == 2 * 8 * 4 * 6
+        assert stats["matmul"].forward_s > 0
+        assert stats["matmul"].backward_calls >= 1
+        assert stats["matmul"].backward_s > 0
+        assert "softmax" in stats and stats["softmax"].calls == 1
+        assert profiler.total_calls >= 4
+        assert profiler.total_seconds > 0
+
+    def test_nested_calls_are_self_time(self):
+        # softmax calls exp/sum/div internally; the wrapper stack must
+        # subtract child time, so the parts can never exceed the whole.
+        with OpProfiler() as profiler:
+            for _ in range(5):
+                small_training_step()
+        with Timer() as timer:
+            with OpProfiler() as check:
+                for _ in range(5):
+                    small_training_step()
+        forward_total = sum(s.forward_s for s in check.stats.values())
+        assert forward_total <= timer.laps[-1]
+        assert profiler.stats["softmax"].forward_s > 0
+
+    def test_disable_restores_engine_structurally(self):
+        profiler = OpProfiler()
+        profiler.enable()
+        assert hasattr(ops.matmul, "__wrapped__")
+        assert hasattr(F.softmax, "__wrapped__")
+        assert tensor_module.get_profiler() is profiler
+        profiler.disable()
+        assert not hasattr(ops.matmul, "__wrapped__")
+        assert not hasattr(F.softmax, "__wrapped__")
+        assert tensor_module.get_profiler() is None
+        # Idempotent both ways.
+        profiler.disable()
+        small_training_step()
+        calls_after_disable = profiler.total_calls
+        small_training_step()
+        assert profiler.total_calls == calls_after_disable
+
+    def test_disabled_overhead_is_small(self):
+        """The disabled path must stay close to stock speed.
+
+        Structural checks above are the real guarantee (no wrappers, no
+        hook); this timing guard is deliberately loose (min-of-repeats,
+        2x bound) so it documents the property without reintroducing the
+        wall-clock flakiness this PR removes elsewhere.
+        """
+        def run():
+            with Timer() as timer:
+                for _ in range(3):
+                    small_training_step()
+            return timer.laps[-1]
+
+        run()  # warm numpy / allocator caches
+        stock = min(run() for _ in range(5))
+        profiler = OpProfiler()
+        profiler.enable()
+        profiler.disable()
+        after = min(run() for _ in range(5))
+        assert after < stock * 2.0
+
+    def test_summary_sorted_and_export(self):
+        registry = MetricsRegistry()
+        with OpProfiler() as profiler:
+            small_training_step()
+        rows = profiler.summary()
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        profiler.export(registry)
+        assert registry.get("op_calls", op="matmul").value == 1
+        assert registry.get("op_flops", op="matmul").value == 2 * 8 * 4 * 6
+        table = profiler.table(limit=3)
+        assert "matmul" in table and "total" in table
+
+    def test_data_movement_ops_report_zero_flops(self):
+        with OpProfiler() as profiler:
+            a = Tensor(np.ones((4, 3)), requires_grad=True)
+            ops.sum(ops.transpose(a)).backward()
+        assert profiler.stats["transpose"].flops == 0.0
+
+
+class TestTimingAlias:
+    def test_utils_timing_is_the_obs_module(self):
+        import repro.obs.timing as obs_timing
+        import repro.utils.timing as utils_timing
+
+        assert utils_timing.Timer is obs_timing.Timer is Timer
+        assert utils_timing.time_call is obs_timing.time_call is time_call
+
+    def test_timer_still_times(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.laps[-1] >= 0.0
+        seconds, result = time_call(lambda: 42)
+        assert result == 42
+        assert seconds >= 0.0

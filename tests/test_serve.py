@@ -253,6 +253,48 @@ class TestTelemetry:
         report = telemetry.format_report("pass")
         assert "p99" in report and "cache hit rate" in report
 
+    def test_summary_min_max_count_fields(self):
+        telemetry = Telemetry(max_batch_size=4)
+        for i, latency in enumerate([0.2, 0.1, 0.4]):
+            telemetry.record_request(
+                RequestRecord(
+                    node=i, arrival=0.0, completion=latency,
+                    cache_hit=False, batch_size=1,
+                )
+            )
+        stats = telemetry.summary()
+        assert stats["latency_count"] == 3
+        assert stats["latency_min_s"] == pytest.approx(0.1)
+        assert stats["latency_max_s"] == pytest.approx(0.4)
+        assert "latency min/max" in telemetry.format_report()
+
+    def test_feeds_shared_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        telemetry = Telemetry(max_batch_size=4, registry=registry)
+        telemetry.record_request(
+            RequestRecord(node=0, arrival=0.0, completion=0.25,
+                          cache_hit=True, batch_size=1)
+        )
+        telemetry.record_request(
+            RequestRecord(node=1, arrival=0.0, completion=0.5,
+                          cache_hit=False, batch_size=2)
+        )
+        telemetry.record_batch(2)
+        telemetry.record_queue_depth(3)
+        assert registry.get("serve_requests_total", cache="hit").value == 1
+        assert registry.get("serve_requests_total", cache="miss").value == 1
+        latency = registry.get("serve_latency_seconds")
+        assert latency.count == 2
+        assert latency.max == pytest.approx(0.5)
+        assert registry.get("serve_batch_size").count == 1
+        assert registry.get("serve_queue_depth").max == 3
+        # reset() clears the local pass records but not the cumulative series.
+        telemetry.reset()
+        assert telemetry.requests == []
+        assert registry.get("serve_latency_seconds").count == 2
+
 
 # ----------------------------------------------------------------------
 # Load generator
