@@ -8,7 +8,16 @@ The paper's efficiency claims, asserted here:
 2. After only 10 training epochs, WIDEN's micro-F1 is competitive (within a
    margin of the best method at that budget), the paper's "competitive
    training efficiency" combination.
+
+Run directly with ``--smoke`` for the CI efficiency gate: trains WIDEN with
+the batched forward path and the per-node reference loop under the op
+profiler and writes ``BENCH_fig4.json`` with op-call counts, epoch times and
+the speedup ratio — failing if batching stops paying for itself.
 """
+
+import argparse
+import json
+import sys
 
 import numpy as np
 
@@ -82,3 +91,114 @@ def test_fig4_training_efficiency(benchmark):
         assert scores["widen"][col] > best - 0.35, (
             f"WIDEN at 10 epochs too far behind the best on {dataset_name}"
         )
+
+
+# ---------------------------------------------------------------------------
+# CI smoke mode: batched vs per-node forward path
+# ---------------------------------------------------------------------------
+
+def _profile_mode(forward_mode: str, epochs: int, scale: float, seed: int,
+                  dim: int):
+    """Train WIDEN in one forward mode under the op profiler."""
+    from repro.core import WidenClassifier
+    from repro.datasets import make_acm
+    from repro.obs import OpProfiler
+
+    dataset = make_acm(seed=seed, scale=scale)
+    model = WidenClassifier(seed=seed, forward_mode=forward_mode, dim=dim)
+    profiler = OpProfiler()
+    with profiler:
+        model.fit(dataset.graph, dataset.split.train, epochs=epochs)
+    predictions = model.predict(dataset.split.test)
+    score = micro_f1(dataset.graph.labels[dataset.split.test], predictions)
+    rows = profiler.summary()
+    matmul_s = sum(r["total_s"] for r in rows if r["op"] == "matmul")
+    return {
+        "forward_mode": forward_mode,
+        "epochs": epochs,
+        "op_calls": int(profiler.total_calls),
+        "op_seconds": profiler.total_seconds,
+        "matmul_self_time_fraction": (
+            matmul_s / profiler.total_seconds if profiler.total_seconds else 0.0
+        ),
+        "mean_epoch_seconds": float(np.mean(model.epoch_seconds)),
+        "micro_f1": float(score),
+        "top_ops": [
+            {"op": r["op"], "calls": int(r["calls"]), "total_s": r["total_s"]}
+            for r in rows[:8]
+        ],
+    }
+
+
+def run_smoke(out_path: str, epochs: int = 2, scale: float = 0.5,
+              seed: int = 0, dim: int = 64) -> dict:
+    """The CI efficiency gate: batched path must beat the per-node loop.
+
+    ``dim`` defaults to a paper-scale hidden width (the published model uses
+    wide hidden layers); at toy widths Python dispatch, not arithmetic,
+    dominates and the matmul-share assertion below would be meaningless.
+    """
+    batched = _profile_mode("batched", epochs, scale, seed, dim)
+    per_node = _profile_mode("per_node", epochs, scale, seed, dim)
+    report = {
+        "benchmark": "fig4_efficiency_smoke",
+        "dataset": "acm",
+        "scale": scale,
+        "dim": dim,
+        "batched": batched,
+        "per_node": per_node,
+        "op_call_reduction": per_node["op_calls"] / batched["op_calls"],
+        "epoch_speedup": (
+            per_node["mean_epoch_seconds"] / batched["mean_epoch_seconds"]
+        ),
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"batched:  {batched['op_calls']} op calls, "
+          f"{batched['mean_epoch_seconds']:.3f} s/epoch, "
+          f"micro-F1 {batched['micro_f1']:.4f}, "
+          f"matmul {batched['matmul_self_time_fraction'] * 100:.0f}% of op time")
+    print(f"per_node: {per_node['op_calls']} op calls, "
+          f"{per_node['mean_epoch_seconds']:.3f} s/epoch, "
+          f"micro-F1 {per_node['micro_f1']:.4f}")
+    print(f"op-call reduction {report['op_call_reduction']:.1f}x, "
+          f"epoch speedup {report['epoch_speedup']:.1f}x -> {out_path}")
+    assert report["op_call_reduction"] >= 5.0, (
+        f"batched path should issue >=5x fewer ops, got "
+        f"{report['op_call_reduction']:.1f}x"
+    )
+    assert report["epoch_speedup"] > 1.0, (
+        f"batched path should be faster per epoch, got "
+        f"{report['epoch_speedup']:.2f}x"
+    )
+    assert batched["matmul_self_time_fraction"] > 0.60, (
+        f"matmul should dominate the batched training loop, got "
+        f"{batched['matmul_self_time_fraction']:.0%}"
+    )
+    # Same data, same seed: both paths must learn the same classifier.
+    assert abs(batched["micro_f1"] - per_node["micro_f1"]) < 0.02, (
+        "batched and per-node paths diverged in accuracy"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Fig. 4 efficiency smoke")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the batched-vs-per-node CI gate")
+    parser.add_argument("--out", default="BENCH_fig4.json")
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dim", type=int, default=64)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("direct runs require --smoke; the full Figure 4 "
+                     "benchmark runs under pytest-benchmark")
+    run_smoke(args.out, epochs=args.epochs, scale=args.scale, seed=args.seed,
+              dim=args.dim)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

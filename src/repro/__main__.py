@@ -21,7 +21,9 @@ Commands
     per-epoch loss/F1/message-volume/KL-trigger series.
 
 ``train`` and ``serve-bench`` additionally accept ``--metrics-out FILE`` to
-dump the shared metrics registry as JSONL after the run.
+dump the shared metrics registry as JSONL after the run.  Every WIDEN run
+accepts ``--forward-mode {batched,per_node}`` to select the vectorized
+batched forward path (default) or the per-node reference loop.
 """
 
 from __future__ import annotations
@@ -51,12 +53,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.eval import micro_f1
 
     dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
-    model = WidenClassifier(seed=args.seed)
+    overrides = {} if args.dim is None else {"dim": args.dim}
+    model = WidenClassifier(
+        seed=args.seed, forward_mode=args.forward_mode, **overrides
+    )
     model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
     predictions = model.predict(dataset.split.test)
     score = micro_f1(dataset.graph.labels[dataset.split.test], predictions)
     print(f"widen on {dataset.name}: micro-F1 {score:.4f} "
-          f"({np.mean(model.epoch_seconds):.3f} s/epoch)")
+          f"({np.mean(model.epoch_seconds):.3f} s/epoch, "
+          f"{args.forward_mode} forward)")
     _maybe_dump_metrics(args)
     return 0
 
@@ -84,8 +90,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     previous_registry = set_registry(registry)
     previous_tracer = set_tracer(tracer)
     profiler = OpProfiler()
-    model = WidenClassifier(seed=args.seed)
-    print(f"profiling widen on {dataset.name} ({args.epochs} epochs) ...\n")
+    overrides = {} if args.dim is None else {"dim": args.dim}
+    model = WidenClassifier(
+        seed=args.seed, forward_mode=args.forward_mode, **overrides
+    )
+    print(f"profiling widen on {dataset.name} ({args.epochs} epochs, "
+          f"{args.forward_mode} forward, dim={model.config.dim}) ...\n")
     try:
         with profiler:
             model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
@@ -137,7 +147,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if name == "gtn" and dataset.name == "yelp":
             continue  # matches the paper's skip
         if name == "widen":
-            model = WidenClassifier(seed=args.seed)
+            model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
         else:
             kwargs = {"seed": args.seed}
             if name == "han":
@@ -166,7 +176,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
     print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
-    model = WidenClassifier(seed=args.seed)
+    model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
     model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
 
     # Round-trip through the registry: the served model is restored from its
@@ -230,6 +240,13 @@ def main(argv=None) -> int:
     parser.add_argument("--epochs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dim", type=int, default=None,
+                        help="hidden dimension override (profile/train); the "
+                             "paper-scale widths make the gemm share visible")
+    parser.add_argument("--forward-mode", choices=("batched", "per_node"),
+                        default="batched",
+                        help="WIDEN forward path: vectorized batched (default) "
+                             "or the per-node reference loop")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--metrics-out", default=None,
                      help="dump the metrics registry as JSONL to this path "

@@ -25,12 +25,16 @@ import numpy as np
 from repro.baselines.common import BaseClassifier
 from repro.core.config import WidenConfig
 from repro.core.model import WidenModel
+from repro.core.state import NeighborStateStore
 from repro.core.trainer import WidenTrainer
 from repro.graph import HeteroGraph
-from repro.utils.rng import SeedLike, spawn_rngs
+from repro.tensor import no_grad
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
 
 CHECKPOINT_KEY = "__checkpoint__"
-CHECKPOINT_FORMAT_VERSION = 1
+# v2 adds the trainer's rng stream snapshot ("trainer_rng"); older readers
+# ignore the extra key and v1 checkpoints simply restore without it.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 class WidenClassifier(BaseClassifier):
@@ -64,6 +68,8 @@ class WidenClassifier(BaseClassifier):
         self.model: Optional[WidenModel] = None
         self.trainer: Optional[WidenTrainer] = None
         self._schema: Optional[dict] = None
+        # Rng snapshot restored from a checkpoint, applied by the next bind().
+        self._pending_rng_state: Optional[dict] = None
 
     def _build(self, graph: HeteroGraph) -> None:
         self._schema = self._graph_schema(graph)
@@ -126,6 +132,54 @@ class WidenClassifier(BaseClassifier):
             graph, np.asarray(nodes, dtype=np.int64), rng=rng
         )
 
+    def embed_for_serving_batch(
+        self, nodes: np.ndarray, graph: HeteroGraph, rngs
+    ) -> np.ndarray:
+        """Batched identity-free serving compute (the server's cold path).
+
+        ``rngs`` carries one seed/generator **per node**: each node's
+        neighborhoods are sampled from its own rng, so every row equals what
+        :meth:`embed_for_serving` would return for that node alone —
+        responses stay independent of batch composition — while all the
+        forwards run through one vectorized
+        :meth:`~repro.core.model.WidenModel.forward_batch` call.
+        """
+        if self.trainer is None:
+            raise RuntimeError("embed_for_serving_batch before fit/bind")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(rngs) != nodes.size:
+            raise ValueError(f"{nodes.size} nodes but {len(rngs)} rngs")
+        if nodes.size == 0:
+            return np.empty((0, self.config.dim))
+        if (
+            self.config.forward_mode != "batched"
+            or self.config.embedding_mode == "replace"
+        ):
+            # Replace mode warms up a per-call state table node by node;
+            # keep the reference path (still one row per node, same rngs).
+            return np.stack(
+                [
+                    self.embed_for_serving(np.array([node]), graph, rng=rng)[0]
+                    for node, rng in zip(nodes, rngs)
+                ]
+            )
+        states = []
+        for node, rng in zip(nodes, rngs):
+            store = NeighborStateStore(
+                graph,
+                num_wide=self.config.num_wide,
+                num_deep=self.config.num_deep,
+                num_deep_walks=self.config.num_deep_walks,
+                rng=new_rng(rng),
+            )
+            states.append(store.get(int(node)))
+        model = self.trainer.model
+        model.eval()
+        with no_grad():
+            embeddings, _, _ = model.forward_batch(nodes, states, graph, None)
+        model.train()
+        return embeddings.data
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -167,6 +221,9 @@ class WidenClassifier(BaseClassifier):
         self.trainer = WidenTrainer(
             self.model, graph, self.config, seed=self._trainer_seed
         )
+        if self._pending_rng_state is not None:
+            self.trainer.load_rng_state(self._pending_rng_state)
+            self._pending_rng_state = None
         return self
 
     def save(self, path) -> None:
@@ -185,6 +242,10 @@ class WidenClassifier(BaseClassifier):
             "seed": self._seed,
             "schema": self._schema,
         }
+        if self.trainer is not None:
+            # Rng streams (shuffle, downsampling, sampling, dropout) so a
+            # restored run repeats the stochastic decisions of this one.
+            meta["trainer_rng"] = self.trainer.rng_state()
         np.savez(path, **{CHECKPOINT_KEY: json.dumps(meta)}, **self.model.state_dict())
 
     @staticmethod
@@ -218,6 +279,7 @@ class WidenClassifier(BaseClassifier):
             config=WidenConfig(**meta["config"]), seed=meta.get("seed")
         )
         classifier._schema = meta["schema"]
+        classifier._pending_rng_state = meta.get("trainer_rng")
         schema = meta["schema"]
         classifier.model = WidenModel(
             schema["num_features"],

@@ -41,6 +41,15 @@ class WidenConfig:
     """Minibatch size B."""
     grad_clip: float = 5.0
     """Global-norm gradient clip (0 disables)."""
+    forward_mode: str = "batched"
+    """``"batched"`` runs minibatches through the vectorized
+    :meth:`~repro.core.model.WidenModel.forward_batch` path (padded batch
+    tensors, one attention call per stage); ``"per_node"`` keeps the
+    original one-target-at-a-time reference path.  Both compute the same
+    mathematics; the batched path is faster.  In ``"replace"`` embedding
+    mode the batched path applies synchronous minibatch semantics (all
+    rows of a minibatch read the pre-batch state table), whereas the
+    per-node path updates the table after every single forward."""
     embedding_mode: str = "project"
     """How neighbor representations v_n enter message packs (Eq. 1-2).
 
@@ -109,6 +118,8 @@ class WidenConfig:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
         if self.embedding_mode not in ("project", "replace"):
             raise ValueError(f"unknown embedding_mode {self.embedding_mode!r}")
+        if self.forward_mode not in ("batched", "per_node"):
+            raise ValueError(f"unknown forward_mode {self.forward_mode!r}")
         if not 0.0 <= self.refresh_fraction <= 1.0:
             raise ValueError(
                 f"refresh_fraction must be in [0, 1], got {self.refresh_fraction}"

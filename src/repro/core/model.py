@@ -21,11 +21,12 @@ One forward pass for a target node ``v_t`` (Section 3):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import WidenConfig
+from repro.core.packing import PackedBatch, pack_batch
 from repro.core.relay import EdgeSpecLike, RelayRecipe
 from repro.core.state import NeighborState
 from repro.graph import HeteroGraph
@@ -150,6 +151,91 @@ class WidenModel(Module):
             return ops.maximum(outer, deleted_pack)
         return self.edge_embedding(np.asarray(spec))
 
+    def relay_vectors_bulk(
+        self,
+        recipes: Sequence[RelayRecipe],
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """All relay recipes of a batch as one ``(R, d)`` tensor (Eq. 8).
+
+        Levelized evaluation of the recipe forest: one embedding lookup
+        covers every plain-edge leaf, one table read (or feature projection)
+        covers every deleted node, and each nesting depth then resolves with
+        a single gather → mul → maximum round.  Numerically identical to
+        mapping :meth:`edge_vector` over ``recipes`` — everything here is
+        elementwise — but issues O(depth) ops instead of O(recipes · depth).
+        """
+        leaf_etypes: List[int] = []
+        # Per recipe node: (outer_ref, deleted_node, deleted_ref, level)
+        # where a ref is ('leaf', i) or ('rec', i).
+        rec_nodes: List[tuple] = []
+
+        def visit(spec: EdgeSpecLike):
+            if isinstance(spec, RelayRecipe):
+                outer_ref, outer_level = visit(spec.outer)
+                deleted_ref, deleted_level = visit(spec.deleted)
+                level = max(outer_level, deleted_level) + 1
+                rec_nodes.append(
+                    (outer_ref, int(spec.deleted_node), deleted_ref, level)
+                )
+                return ("rec", len(rec_nodes) - 1), level
+            leaf_etypes.append(int(spec))
+            return ("leaf", len(leaf_etypes) - 1), 0
+
+        roots = [visit(recipe)[0] for recipe in recipes]
+
+        # Table rows: leaves first, then recipe values level by level.
+        table = self.edge_embedding(np.asarray(leaf_etypes, dtype=np.int64))
+        deleted_nodes = np.asarray([rec[1] for rec in rec_nodes], dtype=np.int64)
+        if node_state is not None:
+            node_mat = Tensor(node_state[deleted_nodes])
+        else:
+            node_mat = ops.matmul(
+                Tensor(graph.features[deleted_nodes]), self.project.weight
+            )
+
+        row_of = {("leaf", i): i for i in range(len(leaf_etypes))}
+        max_level = max(rec[3] for rec in rec_nodes)
+        for level in range(1, max_level + 1):
+            members = [
+                i for i, rec in enumerate(rec_nodes) if rec[3] == level
+            ]
+            ones = np.ones(len(members))
+            outer_idx = np.asarray([row_of[rec_nodes[i][0]] for i in members])
+            deleted_idx = np.asarray([row_of[rec_nodes[i][2]] for i in members])
+            outer_rows = ops.pad_gather(table, outer_idx, ones)
+            deleted_rows = ops.pad_gather(table, deleted_idx, ones)
+            node_rows = ops.pad_gather(node_mat, np.asarray(members), ones)
+            new_rows = ops.maximum(outer_rows, node_rows * deleted_rows)
+            base = int(table.data.shape[0])
+            for position, i in enumerate(members):
+                row_of[("rec", i)] = base + position
+            table = ops.concat([table, new_rows], axis=0)
+
+        root_idx = np.asarray([row_of[ref] for ref in roots])
+        return ops.pad_gather(table, root_idx, np.ones(len(roots)))
+
+    def self_loop_vector(
+        self,
+        target: int,
+        graph: HeteroGraph,
+        cache: Optional[_EmbedCache] = None,
+    ) -> Tensor:
+        """Self-loop edge embedding ``e_{t,t}`` as a ``(1, d)`` row.
+
+        Self-loop types are per *node type*, so within one forward pass the
+        target's Φ + 1 pack matrices all share the same row — ``cache``
+        (keyed by loop-type id) gathers it from the embedding table once.
+        """
+        loop_type = int(graph.self_loop_type(target))
+        if cache is not None and loop_type in cache:
+            return cache[loop_type]
+        vec = self.edge_embedding(np.asarray([loop_type]))
+        if cache is not None:
+            cache[loop_type] = vec
+        return vec
+
     # ------------------------------------------------------------------
     # Message packaging (Eqs. 1-2)
     # ------------------------------------------------------------------
@@ -160,6 +246,7 @@ class WidenModel(Module):
         wide: WideNeighborSet,
         graph: HeteroGraph,
         node_state: Optional[np.ndarray] = None,
+        loop_cache: Optional[_EmbedCache] = None,
     ) -> Tensor:
         """``M° = PACK°(W(v_t))`` — shape ``(|W| + 1, d)``, target pack first."""
         target_vec = self.fresh_projection(target, graph)
@@ -169,8 +256,17 @@ class WidenModel(Module):
             neighbor_vecs = ops.matmul(
                 Tensor(graph.features[wide.nodes]), self.project.weight
             )
-        etypes = np.concatenate(([graph.self_loop_type(target)], wide.etypes))
-        edge_vecs = self.edge_embedding(etypes)
+        if loop_cache is None:
+            etypes = np.concatenate(([graph.self_loop_type(target)], wide.etypes))
+            edge_vecs = self.edge_embedding(etypes)
+        else:
+            loop_vec = self.self_loop_vector(target, graph, loop_cache)
+            if len(wide):
+                edge_vecs = ops.concat(
+                    [loop_vec, self.edge_embedding(wide.etypes)], axis=0
+                )
+            else:
+                edge_vecs = loop_vec
         node_vecs = ops.concat(
             [ops.reshape(target_vec, (1, self.config.dim)), neighbor_vecs], axis=0
         )
@@ -183,6 +279,7 @@ class WidenModel(Module):
         graph: HeteroGraph,
         node_state: Optional[np.ndarray] = None,
         cache: Optional[_EmbedCache] = None,
+        loop_cache: Optional[_EmbedCache] = None,
     ) -> Tensor:
         """``M▷ = PACK▷(D(v_t))`` — shape ``(|D| + 1, d)``, target pack first.
 
@@ -206,8 +303,17 @@ class WidenModel(Module):
                 Tensor(graph.features[deep.nodes]), self.project.weight
             )
         node_vecs = ops.concat([target_vec, neighbor_vecs], axis=0)
-        etypes = np.concatenate(([graph.self_loop_type(target)], deep.etypes))
-        edge_vecs = self.edge_embedding(etypes)
+        if loop_cache is None:
+            etypes = np.concatenate(([graph.self_loop_type(target)], deep.etypes))
+            edge_vecs = self.edge_embedding(etypes)
+        else:
+            loop_vec = self.self_loop_vector(target, graph, loop_cache)
+            if len(deep):
+                edge_vecs = ops.concat(
+                    [loop_vec, self.edge_embedding(deep.etypes)], axis=0
+                )
+            else:
+                edge_vecs = loop_vec
         if relay_positions:
             # Splice relay rows into the looked-up edge matrix.  Relays are
             # rare (one per prune), so per-row handling here stays cheap.
@@ -249,13 +355,16 @@ class WidenModel(Module):
         """
         config = self.config
         cache: _EmbedCache = {}
+        loop_cache: _EmbedCache = {}
         d = config.dim
 
         with trace_span("widen.forward"):
             wide_attention: Optional[np.ndarray] = None
             if config.use_wide:
                 with trace_span("widen.wide_pass", packs=len(state.wide) + 1):
-                    packs = self.pack_wide(target, state.wide, graph, node_state)
+                    packs = self.pack_wide(
+                        target, state.wide, graph, node_state, loop_cache
+                    )
                     packs = self.pack_dropout(packs)
                     h_wide, weights = self.wide_pass(packs[0], packs)
                     wide_attention = weights.data.copy()
@@ -267,7 +376,9 @@ class WidenModel(Module):
                 h_walks: List[Tensor] = []
                 for deep in state.deep:
                     with trace_span("widen.deep_pass", packs=len(deep) + 1):
-                        packs = self.pack_deep(target, deep, graph, node_state, cache)
+                        packs = self.pack_deep(
+                            target, deep, graph, node_state, cache, loop_cache
+                        )
                         packs = self.pack_dropout(packs)
                         if config.use_successive:
                             refined, _ = self.deep_successive(
@@ -291,6 +402,117 @@ class WidenModel(Module):
             hidden = self.hidden_dropout(hidden)
             embedding = F.l2_normalize(hidden, axis=-1)
         return embedding, wide_attention, deep_attentions
+
+    def forward_batch(
+        self,
+        targets: Sequence[int],
+        states: Sequence[NeighborState],
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, List[Optional[np.ndarray]], List[List[np.ndarray]]]:
+        """Vectorized ``forward`` over ``B`` targets at once.
+
+        Packs every target's ``M°`` and every walk's ``M▷`` into padded
+        batch tensors (see :mod:`repro.core.packing`) and runs each stage —
+        projection, edge gather, attention, fusion — as one batched op
+        instead of ``B·(Φ + 1)`` small ones.  Padding is exact: padded node
+        rows gather as zeros and padded attention slots carry ``-inf`` mask
+        entries, so per-row results equal the per-node reference path.
+
+        Returns ``(embeddings, wide_attentions, deep_attentions)`` where
+        ``embeddings`` is ``(B, d)`` and the attention lists hold, per
+        target, the same trimmed distributions ``forward`` would return.
+        """
+        config = self.config
+        d = config.dim
+        pack = pack_batch(
+            targets,
+            states,
+            graph,
+            config,
+            pack_dropout=self.pack_dropout,
+            hidden_dropout=self.hidden_dropout,
+        )
+        batch = pack.batch_size
+
+        with trace_span("widen.forward", batch=batch):
+            target_vecs = ops.matmul(
+                Tensor(graph.features[pack.targets]), self.project.weight
+            )
+            if pack.neighbor_nodes.size:
+                if node_state is not None:
+                    neighbor_vecs = Tensor(node_state[pack.neighbor_nodes])
+                else:
+                    neighbor_vecs = ops.matmul(
+                        Tensor(graph.features[pack.neighbor_nodes]),
+                        self.project.weight,
+                    )
+                flat = ops.concat([target_vecs, neighbor_vecs], axis=0)
+            else:
+                flat = target_vecs
+
+            wide_attentions: List[Optional[np.ndarray]] = [None] * batch
+            if config.use_wide:
+                with trace_span("widen.wide_pass", packs=pack.wide_index.size):
+                    edge_vecs = self.edge_embedding(pack.wide_etypes)
+                    packs = ops.pad_gather_mul(
+                        flat, pack.wide_index, pack.wide_valid,
+                        edge_vecs, pack.wide_dropout,
+                    )
+                    query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (batch, d))
+                    h_wide, weights = self.wide_pass(
+                        query, packs, mask=pack.wide_attn_mask
+                    )
+                    wide_attentions = [
+                        weights.data[b, : pack.wide_lengths[b]].copy()
+                        for b in range(batch)
+                    ]
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            deep_attentions: List[List[np.ndarray]] = [[] for _ in range(batch)]
+            if config.use_deep:
+                total, width = pack.deep_index.shape
+                with trace_span("widen.deep_pass", packs=pack.deep_index.size):
+                    edge_vecs = self.edge_embedding(pack.deep_etypes)
+                    if pack.deep_relays:
+                        relay_rows = self.relay_vectors_bulk(
+                            pack.deep_relays, graph, node_state
+                        )
+                        flat_edges = ops.reshape(edge_vecs, (total * width, d))
+                        flat_edges = ops.scatter_rows(
+                            flat_edges, pack.deep_relay_rows, relay_rows
+                        )
+                        edge_vecs = ops.reshape(flat_edges, (total, width, d))
+                    packs = ops.pad_gather_mul(
+                        flat, pack.deep_index, pack.deep_valid,
+                        edge_vecs, pack.deep_dropout,
+                    )
+                    if config.use_successive:
+                        refined, _ = self.deep_successive(
+                            packs, mask=pack.deep_causal_mask
+                        )
+                    else:
+                        refined = packs
+                    query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (total, d))
+                    h_walks, weights = self.deep_pass(
+                        query, refined, values=packs, mask=pack.deep_attn_mask
+                    )
+                    h_deep = ops.mean(
+                        ops.reshape(h_walks, (batch, pack.num_walks, d)), axis=1
+                    )
+                    for w in range(total):
+                        deep_attentions[w // pack.num_walks].append(
+                            weights.data[w, : pack.deep_lengths[w]].copy()
+                        )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=1)))
+            if pack.hidden_dropout is not None:
+                hidden = ops.dropout_mask(hidden, pack.hidden_dropout)
+            embeddings = F.l2_normalize(hidden, axis=-1)
+        return embeddings, wide_attentions, deep_attentions
 
     def logits(self, embeddings: Tensor) -> Tensor:
         """Class logits ``v' C`` (Eq. 10, pre-softmax)."""

@@ -1,0 +1,228 @@
+"""Batch packing for the vectorized forward path.
+
+The per-node reference path (:meth:`WidenModel.forward`) builds one small
+``(L + 1, d)`` pack matrix per target and per walk and runs attention on
+each — thousands of tiny op calls per epoch.  This module assembles the
+*indices* for a whole minibatch up front so the model can execute the same
+mathematics as a handful of batched tensor ops:
+
+- every wide set becomes one row of a padded ``(B, Lw)`` index/etype grid;
+- every deep walk becomes one row of a padded ``(B·Φ, Ld)`` grid;
+- validity masks (1/0) zero out padded node rows at gather time, and
+  additive attention masks (0/-inf) give padded slots exactly zero softmax
+  weight — so padding is numerically inert, not approximately so.
+
+Relay edges (Eq. 8) cannot be table lookups: they are re-evaluated against
+current parameters each forward.  The pack records their flat positions so
+:meth:`WidenModel.forward_batch` can splice the evaluated rows into the
+edge matrix with one ``scatter_rows``.
+
+Dropout reproducibility: the per-node path draws one mask per pack matrix
+(wide, then each walk, then the hidden vector) in target order.  When the
+dropout modules are passed in, :func:`pack_batch` consumes the rng streams
+in exactly that order and assembles the draws into padded batch masks, so
+the batched path's training losses are bit-identical to the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import WidenConfig
+from repro.core.relay import RelayRecipe
+from repro.core.state import NeighborState
+from repro.graph import HeteroGraph
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class PackedBatch:
+    """Index-level description of a minibatch forward pass.
+
+    Flat node-vector rows are laid out as ``[fresh target projections (B);
+    unique neighbor embeddings (U)]``: slot indices below ``B`` address a
+    target's trainable projection, the rest address ``neighbor_nodes``.
+    All arrays are plain numpy — no gradients flow through the pack itself.
+    """
+
+    targets: np.ndarray            # (B,) target node ids
+    neighbor_nodes: np.ndarray     # (U,) unique neighbor ids -> flat rows B..B+U-1
+
+    # Wide grids, padded to Lw = max(|W_b| + 1); row layout: target pack first.
+    wide_index: Optional[np.ndarray] = None       # (B, Lw) flat row per slot
+    wide_valid: Optional[np.ndarray] = None       # (B, Lw) 1.0 valid / 0.0 pad
+    wide_etypes: Optional[np.ndarray] = None      # (B, Lw) edge-type ids (pad: 0)
+    wide_attn_mask: Optional[np.ndarray] = None   # (B, Lw) additive 0 / -inf
+    wide_lengths: Optional[np.ndarray] = None     # (B,) valid packs incl. target
+
+    # Deep grids: the B×Φ walks flatten to W = B·Φ rows, padded to Ld.
+    num_walks: int = 0
+    deep_index: Optional[np.ndarray] = None       # (W, Ld)
+    deep_valid: Optional[np.ndarray] = None       # (W, Ld)
+    deep_etypes: Optional[np.ndarray] = None      # (W, Ld)
+    deep_attn_mask: Optional[np.ndarray] = None   # (W, Ld) for PASS▷'s query
+    deep_causal_mask: Optional[np.ndarray] = None # (W, Ld, Ld) Θ + key padding
+    deep_lengths: Optional[np.ndarray] = None     # (W,)
+    deep_relay_rows: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.int64)
+    )                                             # flat rows into (W·Ld, d)
+    deep_relays: List[RelayRecipe] = field(default_factory=list)
+
+    # Scaled dropout masks drawn in per-node rng order (None in eval mode).
+    wide_dropout: Optional[np.ndarray] = None     # (B, Lw, d)
+    deep_dropout: Optional[np.ndarray] = None     # (W, Ld, d)
+    hidden_dropout: Optional[np.ndarray] = None   # (B, d)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.targets.shape[0])
+
+
+def _draw(dropout, shape):
+    return None if dropout is None else dropout.draw_mask(shape)
+
+
+def pack_batch(
+    targets: Sequence[int],
+    states: Sequence[NeighborState],
+    graph: HeteroGraph,
+    config: WidenConfig,
+    pack_dropout=None,
+    hidden_dropout=None,
+    dim: Optional[int] = None,
+) -> PackedBatch:
+    """Assemble padded index grids and masks for ``B`` targets.
+
+    ``pack_dropout``/``hidden_dropout`` are the model's :class:`Dropout`
+    modules (or ``None``); their rng streams are consumed in per-node order
+    so training stays bit-identical with the reference path.  ``dim``
+    defaults to ``config.dim`` and sizes the dropout masks.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = targets.shape[0]
+    if batch == 0:
+        raise ValueError("pack_batch requires at least one target")
+    if len(states) != batch:
+        raise ValueError(f"{batch} targets but {len(states)} neighbor states")
+    d = int(dim if dim is not None else config.dim)
+    loop_types = graph.self_loop_types(targets)
+
+    # ---- unique neighbor rows -----------------------------------------
+    chunks: List[np.ndarray] = []
+    if config.use_wide:
+        chunks.extend(state.wide.nodes for state in states)
+    if config.use_deep:
+        chunks.extend(deep.nodes for state in states for deep in state.deep)
+    if chunks:
+        neighbor_nodes = np.unique(np.concatenate(chunks))
+    else:
+        neighbor_nodes = np.empty(0, np.int64)
+
+    def flat_rows(nodes: np.ndarray) -> np.ndarray:
+        return batch + np.searchsorted(neighbor_nodes, nodes)
+
+    pack = PackedBatch(targets=targets, neighbor_nodes=neighbor_nodes)
+
+    # ---- wide grids ----------------------------------------------------
+    if config.use_wide:
+        lengths = np.array([len(state.wide) + 1 for state in states], np.int64)
+        width = int(lengths.max())
+        index = np.zeros((batch, width), np.int64)
+        valid = np.zeros((batch, width))
+        etypes = np.zeros((batch, width), np.int64)
+        index[:, 0] = np.arange(batch)
+        etypes[:, 0] = loop_types
+        for b, state in enumerate(states):
+            wide = state.wide
+            n = len(wide)
+            if n:
+                index[b, 1 : n + 1] = flat_rows(wide.nodes)
+                etypes[b, 1 : n + 1] = wide.etypes
+            valid[b, : n + 1] = 1.0
+        pack.wide_index = index
+        pack.wide_valid = valid
+        pack.wide_etypes = etypes
+        pack.wide_attn_mask = np.where(valid > 0.0, 0.0, _NEG_INF)
+        pack.wide_lengths = lengths
+
+    # ---- deep grids ----------------------------------------------------
+    if config.use_deep:
+        num_walks = len(states[0].deep)
+        for state in states:
+            if len(state.deep) != num_walks:
+                raise ValueError("all targets must carry the same walk count Φ")
+        pack.num_walks = num_walks
+        walks = [deep for state in states for deep in state.deep]
+        total = len(walks)
+        lengths = np.array([len(deep) + 1 for deep in walks], np.int64)
+        width = int(lengths.max())
+        index = np.zeros((total, width), np.int64)
+        valid = np.zeros((total, width))
+        etypes = np.zeros((total, width), np.int64)
+        relay_rows: List[int] = []
+        relays: List[RelayRecipe] = []
+        for w, deep in enumerate(walks):
+            b = w // num_walks
+            n = len(deep)
+            index[w, 0] = b
+            etypes[w, 0] = loop_types[b]
+            if n:
+                index[w, 1 : n + 1] = flat_rows(deep.nodes)
+                etypes[w, 1 : n + 1] = deep.etypes
+            valid[w, : n + 1] = 1.0
+            for position, relay in enumerate(deep.relays):
+                if relay is not None:
+                    relay_rows.append(w * width + position + 1)
+                    relays.append(relay)
+        pack.deep_index = index
+        pack.deep_valid = valid
+        pack.deep_etypes = etypes
+        pack.deep_attn_mask = np.where(valid > 0.0, 0.0, _NEG_INF)
+        pack.deep_lengths = lengths
+        pack.deep_relay_rows = np.asarray(relay_rows, np.int64)
+        pack.deep_relays = relays
+
+        # Causal mask Θ (Eq. 6) plus key padding.  Padded *rows* would see
+        # only -inf (causal keeps j >= i, all of which are padding), which
+        # NaNs the softmax — let them attend to themselves instead: their
+        # packs are exactly zero, so the refined row stays zero and carries
+        # no gradient.
+        causal = np.zeros((width, width))
+        causal[np.tril_indices(width, k=-1)] = _NEG_INF
+        mask = causal[np.newaxis] + pack.deep_attn_mask[:, np.newaxis, :]
+        pad_w, pad_i = np.nonzero(valid == 0.0)
+        mask[pad_w, pad_i, pad_i] = 0.0
+        pack.deep_causal_mask = mask
+
+    # ---- dropout draws in per-node order -------------------------------
+    wide_drop = deep_drop = hidden_drop = None
+    for b in range(batch):
+        if config.use_wide:
+            mask = _draw(pack_dropout, (int(pack.wide_lengths[b]), d))
+            if mask is not None:
+                if wide_drop is None:
+                    wide_drop = np.ones((batch,) + pack.wide_index.shape[1:] + (d,))
+                wide_drop[b, : mask.shape[0]] = mask
+        if config.use_deep:
+            for j in range(pack.num_walks):
+                w = b * pack.num_walks + j
+                mask = _draw(pack_dropout, (int(pack.deep_lengths[w]), d))
+                if mask is not None:
+                    if deep_drop is None:
+                        deep_drop = np.ones(
+                            (total,) + pack.deep_index.shape[1:] + (d,)
+                        )
+                    deep_drop[w, : mask.shape[0]] = mask
+        mask = _draw(hidden_dropout, (d,))
+        if mask is not None:
+            if hidden_drop is None:
+                hidden_drop = np.ones((batch, d))
+            hidden_drop[b] = mask
+    pack.wide_dropout = wide_drop
+    pack.deep_dropout = deep_drop
+    pack.hidden_dropout = hidden_drop
+    return pack

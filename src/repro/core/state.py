@@ -84,6 +84,13 @@ class NeighborStateStore:
         ]
         return NeighborState(wide=wide, deep=deep)
 
+    def rng_state(self) -> dict:
+        """Serializable bit-generator state of the sampling rng."""
+        return self._rng.bit_generator.state
+
+    def load_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     def __len__(self) -> int:
         return len(self._states)
 

@@ -206,25 +206,45 @@ class WidenTrainer:
         wide_entropy = self._wide_entropy
         deep_entropy = self._deep_entropy
         predictions = np.empty(shuffled.size, dtype=np.int64)
+        batched = self.config.forward_mode == "batched"
         for start in range(0, shuffled.size, batch_size):
             batch = shuffled[start : start + batch_size]
             with trace_span("trainer.batch", size=int(batch.size)):
-                embeddings: List[Tensor] = []
-                for node in batch:
-                    state = self.store.get(node)
-                    if count_wide:
-                        # Every pack in M° (wide set + target) is one message
-                        # through PASS° — the unit of Fig. 4's volume axis.
-                        wide_messages += len(state.wide) + 1
-                    if count_deep:
-                        deep_messages += sum(len(deep) + 1 for deep in state.deep)
-                    embedding, wide_att, deep_atts = self.model(
-                        int(node), state, self.graph, self.node_state
+                states = [self.store.get(int(node)) for node in batch]
+                if count_wide:
+                    # Every pack in M° (wide set + target) is one message
+                    # through PASS° — the unit of Fig. 4's volume axis.
+                    wide_messages += sum(len(s.wide) + 1 for s in states)
+                if count_deep:
+                    deep_messages += sum(
+                        len(deep) + 1 for s in states for deep in s.deep
                     )
-                    embeddings.append(embedding)
+                if batched:
+                    stacked, wide_atts, deep_att_lists = self.model.forward_batch(
+                        batch, states, self.graph, self.node_state
+                    )
                     if self.node_state is not None:
-                        # Line 8 of Algorithm 3: the output replaces v_t.
-                        self.node_state[int(node)] = embedding.data
+                        # Line 8 of Algorithm 3, synchronous minibatch form:
+                        # the outputs replace every v_t of the batch at once.
+                        self.node_state[batch] = stacked.data
+                else:
+                    embeddings: List[Tensor] = []
+                    wide_atts = []
+                    deep_att_lists = []
+                    for node, state in zip(batch, states):
+                        embedding, wide_att, deep_atts = self.model(
+                            int(node), state, self.graph, self.node_state
+                        )
+                        embeddings.append(embedding)
+                        if self.node_state is not None:
+                            # Line 8 of Algorithm 3: the output replaces v_t.
+                            self.node_state[int(node)] = embedding.data
+                        wide_atts.append(wide_att)
+                        deep_att_lists.append(deep_atts)
+                    stacked = ops.stack(embeddings)
+                for state, wide_att, deep_atts in zip(
+                    states, wide_atts, deep_att_lists
+                ):
                     if wide_att is not None:
                         wide_entropy.observe(_entropy(wide_att))
                     for att in deep_atts:
@@ -232,7 +252,7 @@ class WidenTrainer:
                     dropped = self._maybe_downsample(state, wide_att, deep_atts)
                     wide_drops += dropped[0]
                     deep_drops += dropped[1]
-                logits = self.model.logits(ops.stack(embeddings))
+                logits = self.model.logits(stacked)
                 loss = F.cross_entropy(logits, self.graph.labels[batch])
                 self.optimizer.zero_grad()
                 loss.backward()
@@ -280,10 +300,22 @@ class WidenTrainer:
             return
         sample = others[self._shuffle_rng.permutation(others.size)[:count]]
         with no_grad():
-            for node in sample:
-                state = self.store.get(int(node))
-                embedding, _, _ = self.model(int(node), state, self.graph, self.node_state)
-                self.node_state[int(node)] = embedding.data
+            if self.config.forward_mode == "batched":
+                batch_size = max(1, self.config.batch_size)
+                for start in range(0, sample.size, batch_size):
+                    chunk = sample[start : start + batch_size]
+                    states = [self.store.get(int(node)) for node in chunk]
+                    embeddings, _, _ = self.model.forward_batch(
+                        chunk, states, self.graph, self.node_state
+                    )
+                    self.node_state[chunk] = embeddings.data
+            else:
+                for node in sample:
+                    state = self.store.get(int(node))
+                    embedding, _, _ = self.model(
+                        int(node), state, self.graph, self.node_state
+                    )
+                    self.node_state[int(node)] = embedding.data
 
     # ------------------------------------------------------------------
     # Active downsampling (Algorithms 1-2 + Eq. 9 trigger)
@@ -398,6 +430,36 @@ class WidenTrainer:
         return fired
 
     # ------------------------------------------------------------------
+    # Rng persistence
+    # ------------------------------------------------------------------
+
+    def rng_state(self) -> dict:
+        """Serializable snapshot of every rng stream training consumes.
+
+        Covers epoch shuffling, random-mode downsampling victims, neighbor
+        sampling and both dropout masks — restoring it makes the *stochastic
+        decisions* of subsequent epochs identical to an uninterrupted run.
+        (Bit-identical resume additionally needs the optimizer moments and
+        the mutated neighbor sets themselves; those are separate concerns —
+        see ROADMAP.)
+        """
+        return {
+            "shuffle": self._shuffle_rng.bit_generator.state,
+            "drop": self._drop_rng.bit_generator.state,
+            "store": self.store.rng_state(),
+            "pack_dropout": self.model.pack_dropout.rng_state(),
+            "hidden_dropout": self.model.hidden_dropout.rng_state(),
+        }
+
+    def load_rng_state(self, state: dict) -> None:
+        """Restore a :meth:`rng_state` snapshot onto the live generators."""
+        self._shuffle_rng.bit_generator.state = state["shuffle"]
+        self._drop_rng.bit_generator.state = state["drop"]
+        self.store.load_rng_state(state["store"])
+        self.model.pack_dropout.load_rng_state(state["pack_dropout"])
+        self.model.hidden_dropout.load_rng_state(state["hidden_dropout"])
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
 
@@ -444,12 +506,24 @@ class WidenTrainer:
                 frontier.update(deep.nodes.tolist())
         frontier -= set(int(v) for v in nodes)
         self.model.eval()
+        batched = self.config.forward_mode == "batched"
+        batch_size = max(1, self.config.batch_size)
+        warm_nodes = np.asarray(sorted(frontier), dtype=np.int64)
         with no_grad():
             for _ in range(max(0, warmup_passes)):
-                for node in sorted(frontier):
-                    state = store.get(node)
-                    embedding, _, _ = self.model(node, state, graph, node_state)
-                    node_state[node] = embedding.data
+                if batched and warm_nodes.size:
+                    for start in range(0, warm_nodes.size, batch_size):
+                        chunk = warm_nodes[start : start + batch_size]
+                        chunk_states = [store.get(int(n)) for n in chunk]
+                        embeddings, _, _ = self.model.forward_batch(
+                            chunk, chunk_states, graph, node_state
+                        )
+                        node_state[chunk] = embeddings.data
+                else:
+                    for node in warm_nodes:
+                        state = store.get(int(node))
+                        embedding, _, _ = self.model(int(node), state, graph, node_state)
+                        node_state[int(node)] = embedding.data
         self.model.train()
         return self._embed_with(store, graph, node_state, nodes)
 
@@ -461,14 +535,27 @@ class WidenTrainer:
         nodes: Sequence[int],
     ) -> np.ndarray:
         self.model.eval()
+        node_ids = np.asarray([int(node) for node in nodes], dtype=np.int64)
         rows = []
         with no_grad():
-            for node in nodes:
-                state = store.get(int(node))
-                embedding, _, _ = self.model(int(node), state, graph, node_state)
-                rows.append(embedding.data)
+            if self.config.forward_mode == "batched" and node_ids.size:
+                batch_size = max(1, self.config.batch_size)
+                for start in range(0, node_ids.size, batch_size):
+                    chunk = node_ids[start : start + batch_size]
+                    states = [store.get(int(n)) for n in chunk]
+                    embeddings, _, _ = self.model.forward_batch(
+                        chunk, states, graph, node_state
+                    )
+                    rows.append(embeddings.data)
+                result = np.concatenate(rows, axis=0)
+            else:
+                for node in node_ids:
+                    state = store.get(int(node))
+                    embedding, _, _ = self.model(int(node), state, graph, node_state)
+                    rows.append(embedding.data)
+                result = np.stack(rows)
         self.model.train()
-        return np.stack(rows)
+        return result
 
     def predict(self, embeddings: np.ndarray) -> np.ndarray:
         """Class predictions from embeddings."""

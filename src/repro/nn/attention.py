@@ -65,7 +65,11 @@ class QueryAttention(Module):
         self.w_value = Parameter(init.xavier_uniform((dim, dim), rng=rngs[2]), name="w_v")
 
     def forward(
-        self, query: Tensor, keys: Tensor, values: Optional[Tensor] = None
+        self,
+        query: Tensor,
+        keys: Tensor,
+        values: Optional[Tensor] = None,
+        mask: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, Tensor]:
         """``query``: (d,) or (1, d); ``keys``/``values``: (m, d).
 
@@ -73,31 +77,51 @@ class QueryAttention(Module):
         (Eq. 5) passes refined packs H▷ as keys but the raw packs M▷ as
         values.  Returns ``(attended, weights)`` with shapes matching the
         query's dimensionality.
+
+        Batched form: ``query`` (B, d) with ``keys``/``values`` (B, m, d)
+        attends each batch row's query over its own pack matrix in single
+        batched ops, returning ``((B, d), (B, m))``.  ``mask`` is an
+        additive array broadcastable to the score shape — ``-inf`` at
+        padded pack slots gives them exactly zero weight, so a padded batch
+        reproduces the per-target results.
         """
         if values is None:
             values = keys
+        batched = keys.ndim == 3
+        if batched and query.ndim == 2:
+            query = ops.reshape(query, (keys.shape[0], 1, self.dim))
+            if mask is not None and mask.ndim == 2:
+                mask = mask[:, np.newaxis, :]
         q = ops.matmul(query, self.w_query)
         k = ops.matmul(keys, self.w_key)
         v = ops.matmul(values, self.w_value)
         if self.num_heads == 1:
-            return F.attention(q, k, v, return_weights=True)
-        head_dim = self.dim // self.num_heads
-        attended_heads = []
-        weight_heads = []
-        for head in range(self.num_heads):
-            lo, hi = head * head_dim, (head + 1) * head_dim
-            axis = q.ndim - 1
-            q_h = ops.slice(q, lo, hi, axis=axis)
-            k_h = ops.slice(k, lo, hi, axis=1)
-            v_h = ops.slice(v, lo, hi, axis=1)
-            attended, weights = F.attention(q_h, k_h, v_h, return_weights=True)
-            attended_heads.append(attended)
-            weight_heads.append(weights)
-        combined = ops.concat(attended_heads, axis=-1)
-        mean_weights = weight_heads[0]
-        for weights in weight_heads[1:]:
-            mean_weights = mean_weights + weights
-        return combined, mean_weights / float(self.num_heads)
+            attended, weights = F.attention(q, k, v, mask=mask, return_weights=True)
+        else:
+            head_dim = self.dim // self.num_heads
+            attended_heads = []
+            weight_heads = []
+            key_axis = k.ndim - 1
+            for head in range(self.num_heads):
+                lo, hi = head * head_dim, (head + 1) * head_dim
+                q_h = ops.slice(q, lo, hi, axis=q.ndim - 1)
+                k_h = ops.slice(k, lo, hi, axis=key_axis)
+                v_h = ops.slice(v, lo, hi, axis=key_axis)
+                head_out, weights = F.attention(
+                    q_h, k_h, v_h, mask=mask, return_weights=True
+                )
+                attended_heads.append(head_out)
+                weight_heads.append(weights)
+            attended = ops.concat(attended_heads, axis=-1)
+            weights = weight_heads[0]
+            for head_weights in weight_heads[1:]:
+                weights = weights + head_weights
+            weights = weights / float(self.num_heads)
+        if batched:
+            batch = keys.shape[0]
+            attended = ops.reshape(attended, (batch, self.dim))
+            weights = ops.reshape(weights, (batch, keys.shape[1]))
+        return attended, weights
 
 
 class SelfAttention(Module):
@@ -117,6 +141,12 @@ class SelfAttention(Module):
         """``packs``: (m, d); ``mask``: additive (m, m) or None.
 
         Returns ``(updated_packs, weights)`` of shapes ((m, d), (m, m)).
+
+        Batched form: ``packs`` (B, m, d) with a mask broadcastable to
+        (B, m, m) refines every batch row's pack matrix in single batched
+        ops.  Every row of the mask must keep at least one finite entry —
+        padded rows conventionally attend to themselves — or the softmax
+        sees an all ``-inf`` row.
         """
         q = ops.matmul(packs, self.w_query)
         k = ops.matmul(packs, self.w_key)

@@ -80,11 +80,30 @@ class Dropout(Module):
         self._rng = new_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.p == 0.0:
+        mask = self.draw_mask(x.data.shape)
+        if mask is None:
             return x
-        keep = 1.0 - self.p
-        mask = (self._rng.random(x.data.shape) < keep) / keep
         return ops.dropout_mask(x, mask)
+
+    def draw_mask(self, shape) -> "np.ndarray | None":
+        """Draw one scaled keep-mask for ``shape``, or None in eval mode.
+
+        Exposed so the batched forward path can consume the rng stream in
+        exactly the per-target order the per-node path would (one draw per
+        pack matrix), assemble the draws into a padded batch mask, and stay
+        bit-identical with the reference implementation under training.
+        """
+        if not self.training or self.p == 0.0:
+            return None
+        keep = 1.0 - self.p
+        return (self._rng.random(shape) < keep) / keep
+
+    def rng_state(self) -> dict:
+        """Serializable bit-generator state of the mask rng."""
+        return self._rng.bit_generator.state
+
+    def load_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
 
 
 class ReLU(Module):

@@ -39,12 +39,15 @@ _OPS_FUNCTIONS = {
     "matmul": "matmul", "transpose": "transpose", "reshape": "reshape",
     "concat": "concat", "stack": "stack", "take": "take",
     "embedding_lookup": "embedding_lookup", "slice": "slice", "spmm": "spmm",
+    "pad_gather": "pad_gather", "scatter_rows": "scatter_rows",
+    "pad_gather_mul": "pad_gather_mul",
     "dropout_mask": "dropout",
 }
 _FUNCTIONAL_FUNCTIONS = {
     "softmax": "softmax",
     "log_softmax": "log_softmax",
     "masked_softmax": "masked_softmax",
+    "l2_normalize": "l2_normalize",
     "cross_entropy": "cross_entropy",
     "binary_cross_entropy_with_logits": "bce_with_logits",
 }
@@ -56,9 +59,13 @@ _PER_ELEMENT_FLOPS = {
     "relu": 1, "leaky_relu": 1, "maximum": 1, "dropout": 1,
     "exp": 4, "log": 4, "tanh": 4, "sigmoid": 4,
     "softmax": 5, "log_softmax": 5, "masked_softmax": 5,
+    # gather (0 FLOP) fused with mask + edge + dropout multiplies
+    "pad_gather_mul": 3,
+    "l2_normalize": 4,
 }
 _DATA_MOVEMENT = frozenset(
-    {"transpose", "reshape", "concat", "stack", "take", "embedding_lookup", "slice"}
+    {"transpose", "reshape", "concat", "stack", "take", "embedding_lookup",
+     "slice", "pad_gather", "scatter_rows"}
 )
 
 

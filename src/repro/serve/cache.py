@@ -9,10 +9,12 @@ additionally drops dead-version entries eagerly from its mutation hook
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.metrics import Histogram
 
 Key = Tuple[int, int]  # (node_id, graph_version)
 
@@ -29,6 +31,11 @@ class EmbeddingCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Per-node hit counts (across versions) — the skew signal capacity
+        # planning reads: a heavy-tailed histogram means a few hot nodes
+        # carry the hit rate and capacity can shrink; a flat one means the
+        # working set really is this wide.
+        self.node_hits: "Counter[int]" = Counter()
 
     def get(self, node: int, version: int) -> Optional[np.ndarray]:
         """Embedding for ``node`` at graph ``version``; None on miss."""
@@ -39,7 +46,14 @@ class EmbeddingCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self.node_hits[key[0]] += 1
         return entry
+
+    def node_hit_histogram(self) -> Histogram:
+        """Distribution of per-node hit counts as a shared Histogram."""
+        histogram = Histogram("cache_node_hits")
+        histogram.observe_many(float(count) for count in self.node_hits.values())
+        return histogram
 
     def put(self, node: int, version: int, embedding: np.ndarray) -> None:
         key = (int(node), int(version))

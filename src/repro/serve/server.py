@@ -91,6 +91,7 @@ class InferenceServer:
             max_batch_size=max_batch_size,
             registry=registry if registry is not None else get_registry(),
         )
+        self.telemetry.attach_cache(self.cache)
         self._results: Dict[int, ServeResult] = {}
         self._next_id = 0
         # Single-worker service model: a batch cannot start before the
@@ -245,12 +246,34 @@ class InferenceServer:
             executed += 1
 
     def _compute_embedding(self, node: int) -> np.ndarray:
+        return self._compute_embeddings([int(node)])[0]
+
+    def _compute_embeddings(self, nodes: List[int]) -> np.ndarray:
+        """Cold-path embeddings for ``nodes`` — one batched model call.
+
+        Determinism is preserved under batching: each node gets its own rng
+        seeded ``(server seed, graph version, node id)``, so every row is
+        identical to a single-node computation regardless of which other
+        misses happened to share the batch.
+        """
         if self._identity_free:
-            rng = np.random.default_rng([self.seed, self.graph.version, int(node)])
-            return self.classifier.embed_for_serving(
-                np.array([node]), self.graph, rng=rng
-            )[0]
-        return self.classifier.embed(np.array([node]), graph=self.graph)[0]
+            rngs = [
+                np.random.default_rng([self.seed, self.graph.version, int(node)])
+                for node in nodes
+            ]
+            if hasattr(self.classifier, "embed_for_serving_batch"):
+                return self.classifier.embed_for_serving_batch(
+                    np.asarray(nodes, dtype=np.int64), self.graph, rngs
+                )
+            return np.stack(
+                [
+                    self.classifier.embed_for_serving(
+                        np.array([node]), self.graph, rng=rng
+                    )[0]
+                    for node, rng in zip(nodes, rngs)
+                ]
+            )
+        return self.classifier.embed(np.asarray(nodes), graph=self.graph)
 
     def reset_clock(self) -> None:
         """Forget the busy-until watermark (between independent replays)."""
@@ -262,18 +285,22 @@ class InferenceServer:
         version = self.graph.version
         embeddings: Dict[int, np.ndarray] = {}
         hit: Dict[int, bool] = {}
-        for request in batch:
-            if request.node in embeddings:
-                continue
-            cached = self.cache.get(request.node, version)
+        miss_nodes: List[int] = []
+        for node in dict.fromkeys(request.node for request in batch):
+            cached = self.cache.get(node, version)
             if cached is not None:
-                embeddings[request.node] = cached
-                hit[request.node] = True
+                embeddings[node] = cached
+                hit[node] = True
             else:
-                embedding = self._compute_embedding(request.node)
-                self.cache.put(request.node, version, embedding)
-                embeddings[request.node] = embedding
-                hit[request.node] = False
+                miss_nodes.append(node)
+                hit[node] = False
+        if miss_nodes:
+            # All of the batch's misses go through one vectorized forward.
+            computed = self._compute_embeddings(miss_nodes)
+            self.telemetry.record_compute_batch(len(miss_nodes))
+            for node, embedding in zip(miss_nodes, computed):
+                self.cache.put(node, version, embedding)
+                embeddings[node] = embedding
         classify_requests = [r for r in batch if r.kind == "classify"]
         predictions: Dict[int, int] = {}
         if classify_requests:

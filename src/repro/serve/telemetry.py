@@ -55,11 +55,20 @@ class Telemetry:
 
     requests: List[RequestRecord] = field(default_factory=list)
     batch_sizes: List[int] = field(default_factory=list)
+    compute_batch_sizes: List[int] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
     max_batch_size: int = 1
     registry: Optional[MetricsRegistry] = None
+    # Attached EmbeddingCache (duck-typed); lets summary() surface the
+    # per-node hit distribution next to the request-level hit rate.
+    cache: Optional[object] = None
 
     # -- recording ------------------------------------------------------
+
+    def attach_cache(self, cache) -> None:
+        """Expose an :class:`EmbeddingCache`'s per-node hit histogram in
+        :meth:`summary` (the server attaches its cache at construction)."""
+        self.cache = cache
 
     def record_request(self, record: RequestRecord) -> None:
         self.requests.append(record)
@@ -76,6 +85,17 @@ class Telemetry:
         if self.registry is not None:
             self.registry.histogram("serve_batch_size").observe(size)
 
+    def record_compute_batch(self, size: int) -> None:
+        """One batched cache-miss computation of ``size`` embeddings.
+
+        Distinct from :meth:`record_batch` (request coalescing): this counts
+        how many embeddings actually went through one model forward, i.e.
+        whether the vectorized compute path sees real batches or singletons.
+        """
+        self.compute_batch_sizes.append(size)
+        if self.registry is not None:
+            self.registry.histogram("serve_compute_batch_size").observe(size)
+
     def record_queue_depth(self, depth: int) -> None:
         self.queue_depths.append(depth)
         if self.registry is not None:
@@ -88,6 +108,7 @@ class Telemetry:
         """
         self.requests.clear()
         self.batch_sizes.clear()
+        self.compute_batch_sizes.clear()
         self.queue_depths.clear()
 
     # -- reductions -----------------------------------------------------
@@ -130,7 +151,7 @@ class Telemetry:
 
     def summary(self) -> Dict[str, float]:
         latencies = self.latency_histogram()
-        return {
+        stats = {
             "requests": len(self.requests),
             "throughput_rps": self.throughput(),
             "latency_count": latencies.count,
@@ -149,6 +170,23 @@ class Telemetry:
             ),
             "cache_hit_rate": self.hit_rate(),
         }
+        stats["compute_batches"] = len(self.compute_batch_sizes)
+        stats["compute_batch_mean"] = (
+            sum(self.compute_batch_sizes) / len(self.compute_batch_sizes)
+            if self.compute_batch_sizes
+            else 0.0
+        )
+        stats["compute_batch_max"] = (
+            float(max(self.compute_batch_sizes)) if self.compute_batch_sizes else 0.0
+        )
+        if self.cache is not None and hasattr(self.cache, "node_hit_histogram"):
+            node_hits = self.cache.node_hit_histogram()
+            stats["cache_nodes_with_hits"] = node_hits.count
+            stats["cache_node_hits_mean"] = node_hits.mean
+            stats["cache_node_hits_p50"] = node_hits.percentile(50)
+            stats["cache_node_hits_p95"] = node_hits.percentile(95)
+            stats["cache_node_hits_max"] = node_hits.max
+        return stats
 
     def format_report(self, title: Optional[str] = None) -> str:
         """Human-readable report block (the serve-bench output)."""
@@ -170,5 +208,15 @@ class Telemetry:
             f" (occupancy {stats['batch_occupancy'] * 100:.0f}%)",
             f"mean queue depth  {stats['mean_queue_depth']:.2f}",
             f"cache hit rate    {stats['cache_hit_rate'] * 100:.1f}%",
+            f"compute batches   {int(stats['compute_batches'])}"
+            f" (mean size {stats['compute_batch_mean']:.2f},"
+            f" max {int(stats['compute_batch_max'])})",
         ]
+        if "cache_nodes_with_hits" in stats:
+            lines.append(
+                f"cache node hits   {int(stats['cache_nodes_with_hits'])} nodes"
+                f" (p50 {stats['cache_node_hits_p50']:.0f},"
+                f" p95 {stats['cache_node_hits_p95']:.0f},"
+                f" max {stats['cache_node_hits_max']:.0f})"
+            )
         return "\n".join(lines)

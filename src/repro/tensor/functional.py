@@ -15,17 +15,24 @@ from repro.tensor import ops
 from repro.tensor.tensor import Tensor, as_tensor
 
 
-def softmax(a, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis`` (fused forward/backward)."""
+def softmax(a, axis: int = -1, scale: Optional[float] = None) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused forward/backward).
+
+    ``scale`` divides the logits first — ``softmax(a / scale)`` as one op,
+    absorbing the attention temperature ``sqrt(d)`` that would otherwise be
+    a separate elementwise division on the hot path.
+    """
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    data = a.data if scale is None else a.data / scale
+    shifted = data - data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray) -> None:
         # d softmax = s * (grad - sum(grad * s))
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
-        a.accumulate_grad(out_data * (grad - inner))
+        grad_a = out_data * (grad - inner)
+        a.accumulate_grad(grad_a if scale is None else grad_a / scale)
 
     return Tensor.from_op(out_data, (a,), backward, name="softmax")
 
@@ -44,22 +51,27 @@ def log_softmax(a, axis: int = -1) -> Tensor:
     return Tensor.from_op(out_data, (a,), backward, name="log_softmax")
 
 
-def masked_softmax(a, mask: np.ndarray, axis: int = -1) -> Tensor:
+def masked_softmax(a, mask: np.ndarray, axis: int = -1,
+                   scale: Optional[float] = None) -> Tensor:
     """Softmax with an additive mask (``-inf`` entries get ~zero weight).
 
     ``mask`` is a plain ndarray broadcastable to ``a`` containing 0 for kept
     positions and ``-inf`` (or very negative values) for suppressed ones —
-    exactly the attention mask Θ from Eq. (6) of the paper.
+    exactly the attention mask Θ from Eq. (6) of the paper.  ``scale``
+    divides the logits first (the fused attention temperature), as in
+    :func:`softmax`.
     """
     a = as_tensor(a)
-    masked = a.data + mask
+    data = a.data if scale is None else a.data / scale
+    masked = data + mask
     shifted = masked - masked.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
 
     def backward(grad: np.ndarray) -> None:
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
-        a.accumulate_grad(out_data * (grad - inner))
+        grad_a = out_data * (grad - inner)
+        a.accumulate_grad(grad_a if scale is None else grad_a / scale)
 
     return Tensor.from_op(out_data, (a,), backward, name="masked_softmax")
 
@@ -116,10 +128,22 @@ def cross_entropy(logits, labels: np.ndarray, reduction: str = "mean") -> Tensor
 
 
 def l2_normalize(a, axis: int = -1, eps: float = 1e-12) -> Tensor:
-    """Row-wise L2 normalization, ``v / ||v||`` (second line of Eq. 7)."""
+    """Row-wise L2 normalization, ``v / ||v||`` (second line of Eq. 7).
+
+    One fused op instead of the mul → sum → add → sqrt → div chain; the
+    forward reproduces that chain's arithmetic exactly.
+    """
     a = as_tensor(a)
-    norm = ops.sqrt(ops.sum(a * a, axis=axis, keepdims=True) + eps)
-    return a / norm
+    sq_sum = (a.data * a.data).sum(axis=axis, keepdims=True)
+    norm = np.sqrt(sq_sum + eps)
+    out_data = a.data / norm
+
+    def backward(grad: np.ndarray) -> None:
+        # d(a/||a||) = grad/||a|| - a * <grad, a> / ||a||^3
+        inner = (grad * a.data).sum(axis=axis, keepdims=True)
+        a.accumulate_grad(grad / norm - a.data * (inner / (norm * norm * norm)))
+
+    return Tensor.from_op(out_data, (a,), backward, name="l2_normalize")
 
 
 def attention(
@@ -135,16 +159,24 @@ def attention(
     the target node's pack queries) or ``(m, d)`` (full self-attention, as in
     the successive self-attention of Eq. 4).  ``mask`` is an additive mask.
 
+    Batched inputs are supported with one leading batch dimension: ``query``
+    ``(B, q, d)``, ``keys``/``values`` ``(B, m, d)`` and a mask
+    broadcastable to ``(B, q, m)`` run as single batched ops — the
+    vectorized hot path packs B targets' pack matrices this way.
+
     Returns the attended values, plus the attention weights when
     ``return_weights`` is set (WIDEN's downsampling consumes the weights).
     """
     query, keys, values = as_tensor(query), as_tensor(keys), as_tensor(values)
     d = keys.data.shape[-1]
-    scores = ops.matmul(query, ops.transpose(keys)) / np.sqrt(d)
+    # transpose_b folds k^T into the gemm itself (no separate transpose op
+    # on the hot path; BLAS consumes the strided view directly), and the
+    # 1/sqrt(d) temperature rides inside the softmax kernel.
+    scores = ops.matmul(query, keys, transpose_b=True)
     if mask is not None:
-        weights = masked_softmax(scores, mask, axis=-1)
+        weights = masked_softmax(scores, mask, axis=-1, scale=np.sqrt(d))
     else:
-        weights = softmax(scores, axis=-1)
+        weights = softmax(scores, axis=-1, scale=np.sqrt(d))
     attended = ops.matmul(weights, values)
     if return_weights:
         return attended, weights

@@ -223,6 +223,70 @@ class TestShapeOps:
         np.testing.assert_allclose(out.data, a[:, 2:5])
 
 
+class TestFusedGatherScatter:
+    """The batched forward path's fused kernels (pad_gather / scatter_rows)."""
+
+    def test_pad_gather_forward(self, rng):
+        a = rng.normal(size=(5, 3))
+        index = np.array([[0, 2, 0], [4, 1, 0]])
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        out = ops.pad_gather(Tensor(a), index, mask)
+        assert out.shape == (2, 3, 3)
+        np.testing.assert_allclose(out.data[0, 0], a[0])
+        np.testing.assert_allclose(out.data[0, 2], 0.0)  # padded slot is zero
+        np.testing.assert_allclose(out.data[1, 1], 0.0)
+
+    def test_pad_gather_grad(self, rng):
+        a = rng.normal(size=(6, 4))
+        # Repeated indices must accumulate; padded slots must contribute 0.
+        index = np.array([[0, 3, 3], [5, 0, 1]])
+        mask = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 0.0]])
+        check_gradients(
+            lambda x: (ops.pad_gather(x, index, mask) ** 2).sum(), [a]
+        )
+
+    def test_pad_gather_padded_rows_get_no_grad(self, rng):
+        a = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        index = np.array([[1, 2]])
+        mask = np.array([[1.0, 0.0]])
+        ops.pad_gather(a, index, mask).sum().backward()
+        np.testing.assert_allclose(a.grad[2], 0.0)  # masked-out gather
+        np.testing.assert_allclose(a.grad[1], 1.0)
+
+    def test_scatter_rows_forward(self, rng):
+        base = rng.normal(size=(5, 3))
+        rows = rng.normal(size=(2, 3))
+        index = np.array([1, 4])
+        out = ops.scatter_rows(Tensor(base), index, Tensor(rows))
+        np.testing.assert_allclose(out.data[1], rows[0])
+        np.testing.assert_allclose(out.data[4], rows[1])
+        np.testing.assert_allclose(out.data[0], base[0])
+        np.testing.assert_allclose(base[1], base[1])  # base untouched
+
+    def test_scatter_rows_grad(self, rng):
+        base = rng.normal(size=(5, 3))
+        rows = rng.normal(size=(2, 3))
+        index = np.array([0, 3])
+        check_gradients(
+            lambda b, r: (ops.scatter_rows(b, index, r) ** 2).sum(),
+            [base, rows],
+        )
+
+    def test_scatter_rows_replaced_base_rows_get_no_grad(self, rng):
+        base = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        rows = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        ops.scatter_rows(base, np.array([2]), rows).sum().backward()
+        np.testing.assert_allclose(base.grad[2], 0.0)  # overwritten row
+        np.testing.assert_allclose(base.grad[0], 1.0)
+        np.testing.assert_allclose(rows.grad, 1.0)
+
+    def test_scatter_rows_shape_mismatch_rejected(self, rng):
+        base = Tensor(rng.normal(size=(4, 3)))
+        rows = Tensor(rng.normal(size=(2, 2)))
+        with pytest.raises(ValueError):
+            ops.scatter_rows(base, np.array([0, 1]), rows)
+
+
 class TestGraphMechanics:
     def test_grad_accumulates_across_uses(self):
         a = Tensor(np.array([2.0]), requires_grad=True)
