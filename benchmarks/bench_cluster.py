@@ -1,0 +1,210 @@
+"""Sharded-serving benchmark — throughput scaling of ``repro.cluster``.
+
+Replays one deterministic Poisson/Zipf trace through a single
+:class:`InferenceServer` and through :class:`ClusterRouter` fleets of 1, 2
+and 4 halo-replicated shards, all on the logical service clock the serving
+benches share: arrivals and batch deadlines come from the trace, compute
+time is measured for real, and each server serializes its own batches
+behind a busy-until watermark.  Shard parallelism therefore shows up the
+honest way — as *span compression* (four watermarks advancing concurrently
+on the logical timeline) — rather than as wishful addition of throughputs.
+
+Claims asserted:
+
+1. Bit-identical semantics: every fleet answers a probe set exactly like
+   the single server (sharding is a deployment decision, not a semantics
+   change).
+2. Throughput scales: the 4-shard fleet clears the compute-bound trace at
+   >= 1.5x the single server's rate.
+3. Per-shard telemetry survives aggregation: the merged Prometheus
+   exposition carries shard-labeled latency/batch/cache series for every
+   shard.
+
+Run ``python benchmarks/bench_cluster.py --smoke`` for the CI-sized gate
+(writes ``BENCH_cluster.json``); without ``--smoke`` the trace and graph
+grow to reproduction scale.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.cluster import ClusterRouter
+from repro.core import WidenClassifier
+from repro.datasets import make_acm
+from repro.serve import InferenceServer, ModelRegistry, make_trace, replay
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _fresh_graph(seed, scale):
+    return make_acm(seed=seed, scale=scale).graph
+
+
+def _trace_stats(summary):
+    return {
+        "requests": int(summary["requests"]),
+        "throughput_rps": float(summary["throughput_rps"]),
+        "latency_p50_ms": float(summary["latency_p50_s"]) * 1e3,
+        "latency_p95_ms": float(summary["latency_p95_s"]) * 1e3,
+        "latency_p99_ms": float(summary["latency_p99_s"]) * 1e3,
+    }
+
+
+def run_bench(out_path, *, scale=0.5, epochs=2, requests=240, rate=50_000.0,
+              zipf=1.1, seed=0):
+    """Train, checkpoint, replay across fleet sizes, write the report.
+
+    ``rate`` is deliberately far above any server's service rate so the
+    replay is compute-bound: the measured span is the busy time of the
+    slowest shard, which is exactly what sharding is supposed to compress.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as root:
+        return _run_bench(
+            out_path, root, scale=scale, epochs=epochs, requests=requests,
+            rate=rate, zipf=zipf, seed=seed,
+        )
+
+
+def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
+               zipf, seed):
+    dataset = make_acm(seed=seed, scale=scale)
+    model = WidenClassifier(seed=seed, dim=16, num_wide=6, num_deep=5)
+    model.fit(dataset.graph, dataset.split.train, epochs=epochs)
+    registry = ModelRegistry(registry_root)
+    checkpoint = registry.save("widen-acm-cluster", model)
+
+    pool = dataset.split.test
+    trace = make_trace(pool, requests, rate=rate, zipf_exponent=zipf, rng=seed)
+    rng = np.random.default_rng(seed)
+    probe = rng.choice(dataset.graph.num_nodes, size=24, replace=False)
+
+    # -- single-server baseline (cold cache) ---------------------------
+    graph = _fresh_graph(seed, scale)
+    single = InferenceServer(
+        WidenClassifier.load(checkpoint, graph=graph), graph, seed=seed
+    )
+    baseline = replay(single, trace)
+    reference = single.embed(probe)
+
+    report = {
+        "benchmark": "cluster_scaling",
+        "dataset": "acm",
+        "scale": scale,
+        "requests": requests,
+        "rate": rate,
+        "zipf_exponent": zipf,
+        "single_server": _trace_stats(baseline),
+        "fleets": [],
+    }
+
+    prometheus_text = None
+    for num_shards in SHARD_COUNTS:
+        graph = _fresh_graph(seed, scale)
+        router = ClusterRouter.from_checkpoint(
+            checkpoint, graph, num_shards, mode="sync", seed=seed,
+            partition_seed=seed,
+        )
+        exact = bool(np.array_equal(router.embed(probe), reference))
+        summary = router.replay(trace)  # first pass on a fresh fleet: cold
+        stats = _trace_stats(summary)
+        stats.update(
+            num_shards=num_shards,
+            exact_match=exact,
+            speedup_vs_single=(
+                stats["throughput_rps"] / report["single_server"]["throughput_rps"]
+            ),
+            halo_requests=int(summary["halo_requests"]),
+            edge_cut=int(summary["edge_cut"]),
+            replication_factor=float(summary["replication_factor"]),
+            shards=[
+                {
+                    "shard": s["shard"],
+                    "owned": s["owned"],
+                    "requests": int(s["requests"]),
+                    "latency_p95_ms": float(s["latency_p95_s"]) * 1e3,
+                    "batch_occupancy": float(s["batch_occupancy"]),
+                    "cache_hit_rate": float(s["cache_hit_rate"]),
+                    "halo_requests": int(s["halo_requests"]),
+                }
+                for s in summary["shards"]
+            ],
+        )
+        if num_shards == SHARD_COUNTS[-1]:
+            prometheus_text = router.render_prometheus()
+        router.close()
+        report["fleets"].append(stats)
+
+    samples = [
+        line for line in (prometheus_text or "").splitlines()
+        if line and not line.startswith("#")
+    ]
+    report["prometheus_samples"] = len(samples)
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(f"{'fleet':<14}{'throughput':>12}{'speedup':>9}{'p95 ms':>9}"
+          f"{'halo req':>9}{'exact':>7}")
+    single_stats = report["single_server"]
+    print(f"{'single server':<14}{single_stats['throughput_rps']:>12.1f}"
+          f"{1.0:>9.2f}{single_stats['latency_p95_ms']:>9.3f}{'-':>9}{'-':>7}")
+    for stats in report["fleets"]:
+        print(f"{stats['num_shards']:>2} shard(s)   "
+              f"{stats['throughput_rps']:>12.1f}"
+              f"{stats['speedup_vs_single']:>9.2f}"
+              f"{stats['latency_p95_ms']:>9.3f}"
+              f"{stats['halo_requests']:>9}"
+              f"{str(stats['exact_match']):>7}")
+    print(f"prometheus: {report['prometheus_samples']} shard-labeled samples "
+          f"-> {out_path}")
+
+    # Claim 1: every fleet is bit-identical to the single server.
+    assert all(stats["exact_match"] for stats in report["fleets"]), (
+        "a sharded fleet diverged from the single server"
+    )
+    # Claim 2: 4 shards clear the trace >= 1.5x faster.
+    four = report["fleets"][-1]
+    assert four["num_shards"] == 4
+    assert four["speedup_vs_single"] >= 1.5, (
+        f"4-shard throughput speedup {four['speedup_vs_single']:.2f}x < 1.5x"
+    )
+    # Claim 3: the merged exposition carries per-shard series.
+    for shard in range(4):
+        assert f'shard="{shard}"' in (prometheus_text or ""), (
+            f"no shard=\"{shard}\" series in the Prometheus exposition"
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="cluster throughput scaling")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small graph, short trace)")
+    parser.add_argument("--out", default="BENCH_cluster.json")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        defaults = {"scale": 0.4, "epochs": 1, "requests": 160}
+    else:
+        defaults = {"scale": 1.0, "epochs": 5, "requests": 600}
+    run_bench(
+        args.out,
+        scale=args.scale if args.scale is not None else defaults["scale"],
+        epochs=args.epochs if args.epochs is not None else defaults["epochs"],
+        requests=(
+            args.requests if args.requests is not None else defaults["requests"]
+        ),
+        seed=args.seed,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,12 @@ Commands
     Poisson/Zipf arrival trace, and print a latency/throughput report:
     cold single-request baseline vs. the batched server (cold cache) vs.
     the batched server (warm cache).
+``serve-cluster [dataset] [--shards K] [--smoke] ...``
+    Train WIDEN, shard the serving graph into K halo-replicated shards
+    (:mod:`repro.cluster`), replay the same deterministic trace through the
+    scatter-gather router, and print the cluster report: per-shard
+    ownership/halo/latency plus cluster throughput.  ``--prometheus-out``
+    writes the merged shard-labeled Prometheus exposition.
 ``profile [dataset] [--epochs N] [--trace-out F] [--metrics-out F]``
     Train WIDEN under the :mod:`repro.obs` instrumentation: prints an
     op-level time/FLOP table and the per-epoch message-volume series, and
@@ -228,10 +234,83 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.cluster import ClusterRouter
+    from repro.core import WidenClassifier
+    from repro.datasets import make_dataset
+    from repro.serve import ModelRegistry, make_trace
+
+    if args.smoke:
+        # CI-sized run: tiny graph, short trace, one epoch.
+        args.scale = min(args.scale, 0.3)
+        args.epochs = min(args.epochs, 1)
+        args.requests = min(args.requests, 60)
+    dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
+    model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
+    model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-registry-") as root:
+        registry = ModelRegistry(root)
+        path = registry.save(f"widen-{dataset.name}", model)
+        router = ClusterRouter.from_checkpoint(
+            path, dataset.graph, args.shards,
+            mode="sync",  # deterministic logical-clock replay
+            max_batch_size=args.batch_size, max_wait=args.max_wait,
+            cache_capacity=args.cache_capacity, seed=args.seed,
+            partition_seed=args.seed,
+            prometheus_path=args.prometheus_out,
+        )
+        plan = router.plan.summary()
+        print(f"\nplan: {plan['num_shards']} shards, reach {plan['reach']}, "
+              f"edge cut {plan['edge_cut']}, "
+              f"replication {plan['replication_factor']:.2f}x")
+        for shard in plan["shards"]:
+            print(f"  shard {shard['shard']}: {shard['owned']} owned, "
+                  f"{shard['halo_only']} halo-replicated, "
+                  f"{shard['edges']} edges, "
+                  f"{shard['boundary_nodes']} boundary nodes")
+
+        trace = make_trace(
+            dataset.split.test, args.requests, rate=args.rate,
+            zipf_exponent=args.zipf, rng=args.seed,
+        )
+        cold = router.replay(trace)
+        warm = router.replay(trace)
+        for title, stats in (("cold cache", cold), ("warm cache", warm)):
+            print(f"\ncluster, {title}")
+            print("-" * (9 + len(title)))
+            print(f"requests          {stats['requests']}")
+            print(f"throughput        {stats['throughput_rps']:.1f} req/s")
+            print(f"latency p50/p95/p99   "
+                  f"{stats['latency_p50_s'] * 1e3:.3f} / "
+                  f"{stats['latency_p95_s'] * 1e3:.3f} / "
+                  f"{stats['latency_p99_s'] * 1e3:.3f} ms")
+            print(f"halo requests     {stats['halo_requests']} "
+                  f"of {stats['requests']}")
+            for shard in stats["shards"]:
+                print(f"  shard {shard['shard']}: "
+                      f"{shard['requests']} reqs, "
+                      f"p95 {shard['latency_p95_s'] * 1e3:.3f} ms, "
+                      f"occupancy {shard['batch_occupancy'] * 100:.0f}%, "
+                      f"hit rate {shard['cache_hit_rate'] * 100:.0f}%")
+        if args.prometheus_out:
+            lines = router.flush_prometheus()
+            print(f"\nwrote {lines} Prometheus samples to {args.prometheus_out}")
+        router.close()
+    _maybe_dump_metrics(args)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
-        "command", choices=("stats", "train", "compare", "serve-bench", "profile")
+        "command",
+        choices=(
+            "stats", "train", "compare", "serve-bench", "serve-cluster", "profile",
+        ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
                         help="acm | dblp | yelp (default: all for stats, acm otherwise)")
@@ -266,6 +345,14 @@ def main(argv=None) -> int:
                        help="micro-batcher deadline, seconds")
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="embedding cache entries")
+    cluster = parser.add_argument_group("serve-cluster")
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="number of halo-replicated shards")
+    cluster.add_argument("--smoke", action="store_true",
+                         help="CI-sized run: caps scale/epochs/requests")
+    cluster.add_argument("--prometheus-out", default=None,
+                         help="write the merged shard-labeled Prometheus "
+                              "text exposition to this path")
     args = parser.parse_args(argv)
     args.dataset = args.dataset or args.dataset_flag
     if args.command == "profile" and args.metrics_out is None:
@@ -275,6 +362,7 @@ def main(argv=None) -> int:
         "train": _cmd_train,
         "compare": _cmd_compare,
         "serve-bench": _cmd_serve_bench,
+        "serve-cluster": _cmd_serve_cluster,
         "profile": _cmd_profile,
     }
     return handlers[args.command](args)

@@ -1,0 +1,31 @@
+"""Sharded, concurrent inference serving (``repro.cluster``).
+
+Scales the single :class:`~repro.serve.server.InferenceServer` horizontally
+while preserving its exact semantics:
+
+- :mod:`~repro.cluster.planner` — partition the serving graph into owned
+  sets (``repro.graph.partition``) and materialize, per shard, the owned
+  subgraph plus the L-hop *halo* that makes owned answers bit-identical to
+  a whole-graph server (L = the model's declared sampling reach).
+- :mod:`~repro.cluster.worker` — one :class:`InferenceServer` per shard
+  behind a bounded FIFO inbox; single-writer ownership instead of locks.
+- :mod:`~repro.cluster.router` — ownership-based scatter-gather with
+  order-preserving merges, mutation fan-out barriers that skip unaffected
+  shards, and cluster-wide telemetry/Prometheus aggregation.
+
+The contract throughout: sharding is a deployment decision, not a
+semantics change — ``ClusterRouter.embed(nodes)`` equals a single server's
+output bit for bit, for any shard count.
+"""
+
+from repro.cluster.planner import ClusterPlan, ShardPlanner, ShardSpec
+from repro.cluster.router import ClusterRouter
+from repro.cluster.worker import ShardWorker
+
+__all__ = [
+    "ClusterPlan",
+    "ClusterRouter",
+    "ShardPlanner",
+    "ShardSpec",
+    "ShardWorker",
+]

@@ -1,0 +1,385 @@
+"""Shard planning: partition + halo replication for sharded serving.
+
+The planner turns one serving graph into ``k`` shard graphs that can answer
+requests for their *owned* nodes **bit-identically** to a whole-graph
+server.  The argument rests on WIDEN's serving-path locality (see
+``repro.graph.halo``): embedding a target queries the adjacency lists of
+nodes within ``reach - 1`` out-hops and reads the features of nodes within
+``reach`` out-hops, where ``reach`` is the model's declared sampling reach
+(:attr:`WidenConfig.serving_reach`).  A shard therefore materializes:
+
+- **closure sources** — ``k_hop_out(owned, reach - 1)``: every node whose
+  out-edge list an owned computation can query; the shard keeps exactly the
+  global edges whose source lies in this set.
+- **halo** — ``k_hop_out(owned, reach)``: every node whose features an
+  owned computation can read; features outside the halo are zeroed.
+
+Shard graphs keep the **global id space** (same ``num_nodes``, same node
+ordering).  Because :meth:`HeteroGraph._rebuild_csr` sorts edges with a
+*stable* argsort on the source column, filtering the global CSR arrays by a
+source mask preserves every surviving adjacency list verbatim — same
+neighbors, same order — so seeded neighbor sampling draws identical indices
+on the shard and on the whole graph.  Zeroing non-halo features is not an
+optimization (the arrays keep their global shape); it is the *proof of
+locality*: if an owned request ever read outside its halo, the shard would
+visibly diverge from the whole-graph server, and the equivalence tests
+would catch it.
+
+Ownership is a :func:`repro.graph.partition.partition_graph` partition
+(balanced, low edge cut — fewer cut edges means smaller halos and fewer
+boundary-crossing requests).  The plan also precomputes, per shard, the
+``touches_halo`` mask — owned nodes within ``reach`` out-hops of a
+non-owned node — which the router uses to count boundary-crossing requests
+without any per-request BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.graph import HeteroGraph, k_hop_in, k_hop_out
+from repro.graph.partition import edge_cut, partition_graph
+
+
+@dataclass
+class ShardSpec:
+    """One shard: its ownership, replication sets and materialized graph.
+
+    All node ids are **global** ids; ``graph`` spans the full id space with
+    edges restricted to ``closure_sources`` and features zeroed outside
+    ``halo``.
+    """
+
+    shard_id: int
+    owned: np.ndarray
+    closure_sources: np.ndarray
+    halo: np.ndarray
+    graph: HeteroGraph
+    touches_halo: np.ndarray  # bool mask over the global id space
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.size)
+
+    @property
+    def halo_only(self) -> np.ndarray:
+        """Replicated (non-owned) nodes whose features this shard carries."""
+        owned_mask = np.zeros(self.graph.num_nodes, dtype=bool)
+        owned_mask[self.owned] = True
+        return self.halo[~owned_mask[self.halo]]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "shard": self.shard_id,
+            "owned": self.num_owned,
+            "halo": int(self.halo.size),
+            "halo_only": int(self.halo_only.size),
+            "closure_sources": int(self.closure_sources.size),
+            "edges": int(self.graph.num_edges),
+            "boundary_nodes": int(
+                self.touches_halo[self.owned].sum() if self.owned.size else 0
+            ),
+        }
+
+
+def _shard_edge_arrays(graph: HeteroGraph, closure_sources: np.ndarray):
+    """The global edges whose source lies in the closure, **in CSR order**.
+
+    The global CSR is stably sorted by source, so a boolean-mask gather
+    yields per-source adjacency lists identical (contents *and* order) to
+    the whole graph — the load-bearing fact behind bit-identical sampling.
+    """
+    closure_mask = np.zeros(graph.num_nodes, dtype=bool)
+    closure_mask[closure_sources] = True
+    edge_mask = closure_mask[graph._src]
+    return (
+        graph._src[edge_mask],
+        graph.indices[edge_mask],
+        graph.edge_type_of[edge_mask],
+    )
+
+
+def _masked_features(graph: HeteroGraph, halo: np.ndarray) -> Optional[np.ndarray]:
+    if graph.features is None:
+        return None
+    features = np.zeros_like(graph.features)
+    features[halo] = graph.features[halo]
+    return features
+
+
+def _touches_halo_mask(graph: HeteroGraph, owned: np.ndarray, reach: int) -> np.ndarray:
+    """Owned nodes whose ``reach``-hop neighborhood leaves the owned set."""
+    owned_mask = np.zeros(graph.num_nodes, dtype=bool)
+    owned_mask[owned] = True
+    foreign = np.flatnonzero(~owned_mask)
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    if foreign.size == 0:
+        return mask
+    crossers = k_hop_in(graph, foreign, reach)
+    mask[crossers] = True
+    mask &= owned_mask
+    return mask
+
+
+class ShardPlanner:
+    """Builds a :class:`ClusterPlan` from one serving graph.
+
+    ``reach`` must be the model's declared sampling reach
+    (:func:`repro.serve.server.serving_reach_of`); sharding an
+    unknown-reach classifier is refused at the router level because no
+    finite halo would be provably sufficient.
+    """
+
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        reach: int,
+        num_shards: int,
+        *,
+        balance_slack: float = 1.3,
+        refine_passes: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if reach < 1:
+            raise ValueError(f"reach must be >= 1, got {reach}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.graph = graph
+        self.reach = int(reach)
+        self.num_shards = int(num_shards)
+        self.balance_slack = balance_slack
+        self.refine_passes = refine_passes
+        self.seed = seed
+
+    def plan(self) -> "ClusterPlan":
+        parts = partition_graph(
+            self.graph,
+            self.num_shards,
+            refine_passes=self.refine_passes,
+            balance_slack=self.balance_slack,
+            rng=self.seed,
+        )
+        owner_of = np.empty(self.graph.num_nodes, dtype=np.int64)
+        for shard_id, owned in enumerate(parts):
+            owner_of[owned] = shard_id
+        shards = [
+            self._build_shard(shard_id, owned)
+            for shard_id, owned in enumerate(parts)
+        ]
+        return ClusterPlan(
+            global_graph=self.graph,
+            reach=self.reach,
+            shards=shards,
+            owner_of=owner_of,
+            partition_edge_cut=edge_cut(self.graph, parts),
+        )
+
+    def _build_shard(self, shard_id: int, owned: np.ndarray) -> ShardSpec:
+        graph = self.graph
+        closure_sources = k_hop_out(graph, owned, self.reach - 1)
+        halo = k_hop_out(graph, owned, self.reach)
+        src, dst, etypes = _shard_edge_arrays(graph, closure_sources)
+        shard_graph = HeteroGraph(
+            node_types=graph.node_types.copy(),
+            src=src,
+            dst=dst,
+            edge_types=etypes,
+            node_type_names=graph.node_type_names,
+            edge_type_names=graph.edge_type_names,
+            features=_masked_features(graph, halo),
+            labels=graph.labels.copy(),
+            num_classes=graph.num_classes,
+        )
+        # Align the shard's version counter with the global graph so a
+        # shard server's version base — the rng-seed component — matches a
+        # single whole-graph server's (bit-identical responses need
+        # bit-identical seeds).
+        shard_graph.version = graph.version
+        return ShardSpec(
+            shard_id=shard_id,
+            owned=owned,
+            closure_sources=closure_sources,
+            halo=halo,
+            graph=shard_graph,
+            touches_halo=_touches_halo_mask(graph, owned, self.reach),
+        )
+
+
+@dataclass
+class ClusterPlan:
+    """The sharding decision plus the machinery to keep it fresh.
+
+    The plan owns the ownership map and, under streaming mutations, knows
+    how to propagate a change from the global graph into each shard: which
+    shards are affected at all, what their new edge sets / halos are, and
+    what ``changed_sources`` to report so per-shard fine-grained
+    invalidation bumps exactly the nodes a whole-graph server would bump.
+    The router applies the resulting callables inside each shard's worker
+    (the worker owns its graph; the plan never mutates across threads).
+    """
+
+    global_graph: HeteroGraph
+    reach: int
+    shards: List[ShardSpec]
+    owner_of: np.ndarray
+    partition_edge_cut: int = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def owner(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.owner_of.size:
+            raise IndexError(
+                f"node {node} out of range [0, {self.owner_of.size})"
+            )
+        return int(self.owner_of[node])
+
+    def replication_factor(self) -> float:
+        """Mean copies of a node's features across shards (>= 1.0)."""
+        total = sum(int(spec.halo.size) for spec in self.shards)
+        return total / self.global_graph.num_nodes if self.global_graph.num_nodes else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "reach": self.reach,
+            "edge_cut": self.partition_edge_cut,
+            "replication_factor": self.replication_factor(),
+            "shards": [spec.summary() for spec in self.shards],
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming mutation propagation
+    # ------------------------------------------------------------------
+
+    def place_new_nodes(self, count: int) -> int:
+        """Owner shard for a batch of arriving nodes: the least-loaded one.
+
+        Deterministic (ties break toward the lowest shard id) so a replayed
+        mutation stream reproduces the same ownership.
+        """
+        sizes = [spec.num_owned for spec in self.shards]
+        return int(np.argmin(sizes))
+
+    def add_nodes_callables(
+        self,
+        owner: int,
+        new_ids: np.ndarray,
+        type_name: str,
+        features: Optional[np.ndarray],
+        labels: Optional[np.ndarray],
+        count: int,
+    ) -> List[Callable[[], None]]:
+        """Per-shard appliers for a node arrival already on the global graph.
+
+        Every shard appends the same ids (the global id space must stay
+        aligned), but only the owner receives real features — for everyone
+        else the arrivals are outside the halo until some edge pulls them
+        in, at which point :meth:`refresh_shard` re-materializes features.
+        ``HeteroGraph.add_nodes`` fires an ``add_nodes`` event on each shard
+        graph, so per-shard servers bump exactly the new ids — the same
+        no-drop invalidation a whole-graph server performs.
+        """
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        zeros = None if features is None else np.zeros_like(np.atleast_2d(features))
+        appliers = []
+        for spec in self.shards:
+            is_owner = spec.shard_id == owner
+            appliers.append(
+                self._make_add_nodes_applier(
+                    spec,
+                    new_ids,
+                    type_name,
+                    (features if is_owner else zeros),
+                    labels,
+                    count,
+                    is_owner,
+                )
+            )
+        self.owner_of = np.concatenate(
+            [self.owner_of, np.full(new_ids.size, owner, dtype=np.int64)]
+        )
+        return appliers
+
+    def _make_add_nodes_applier(
+        self,
+        spec: ShardSpec,
+        new_ids: np.ndarray,
+        type_name: str,
+        features: Optional[np.ndarray],
+        labels: Optional[np.ndarray],
+        count: int,
+        is_owner: bool,
+    ) -> Callable[[], None]:
+        def apply() -> None:
+            got = spec.graph.add_nodes(
+                type_name, features=features, labels=labels, count=count
+            )
+            if not np.array_equal(got, new_ids):
+                raise RuntimeError(
+                    f"shard {spec.shard_id} id space diverged: appended "
+                    f"{got}, global appended {new_ids}"
+                )
+            grown = np.zeros(spec.graph.num_nodes, dtype=bool)
+            grown[: spec.touches_halo.size] = spec.touches_halo
+            spec.touches_halo = grown
+            if is_owner:
+                # Isolated arrivals: owned and in-halo by definition
+                # (depth-0 reachability), crossing nothing yet.
+                spec.owned = np.concatenate([spec.owned, new_ids])
+                spec.closure_sources = np.union1d(spec.closure_sources, new_ids)
+                spec.halo = np.union1d(spec.halo, new_ids)
+
+        return apply
+
+    def refresh_shard(
+        self, spec: ShardSpec, changed_sources: np.ndarray
+    ) -> Optional[Callable[[], None]]:
+        """Applier bringing ``spec`` up to date with the global edge set.
+
+        Returns ``None`` when the shard's materialized edges are unchanged
+        — the adjacency lists inside its closure did not move, hence (by
+        path-locality) no owned node's served embedding can observe the
+        mutation, and the shard is skipped without firing any invalidation.
+
+        Otherwise the applier refreshes halo features, swaps the edge set in
+        one :meth:`HeteroGraph.replace_edges` call and reports the *global*
+        ``changed_sources``: the shard server's reverse-BFS then bumps
+        ``frontier ∩ owned`` exactly as a whole-graph server does (every
+        ``<= reach-1``-hop path from an owned node to a changed source runs
+        inside the closure, so shard-local reachability agrees with global
+        reachability on owned nodes).  One mutation, one event, one bump —
+        the version counters stay aligned with the single-server timeline.
+        """
+        graph = self.global_graph
+        closure_sources = k_hop_out(graph, spec.owned, self.reach - 1)
+        halo = k_hop_out(graph, spec.owned, self.reach)
+        src, dst, etypes = _shard_edge_arrays(graph, closure_sources)
+        unchanged = (
+            src.size == spec.graph.num_edges
+            and np.array_equal(src, spec.graph._src)
+            and np.array_equal(dst, spec.graph.indices)
+            and np.array_equal(etypes, spec.graph.edge_type_of)
+        )
+        if unchanged:
+            return None
+        touches = _touches_halo_mask(graph, spec.owned, self.reach)
+        changed_sources = np.asarray(changed_sources, dtype=np.int64)
+        features = graph.features
+
+        def apply() -> None:
+            if features is not None:
+                spec.graph.features[halo] = features[halo]
+            spec.closure_sources = closure_sources
+            spec.halo = halo
+            spec.touches_halo = touches
+            spec.graph.replace_edges(
+                src, dst, etypes, changed_sources=changed_sources
+            )
+
+        return apply

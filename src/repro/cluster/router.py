@@ -1,0 +1,426 @@
+"""Scatter-gather routing over a fleet of shard workers.
+
+:class:`ClusterRouter` is the cluster's front door: it owns the *global*
+serving graph (the source of truth mutations land on first), the
+:class:`~repro.cluster.planner.ClusterPlan` (ownership + halos), and one
+:class:`~repro.cluster.worker.ShardWorker` per shard.  Its contract is
+**indistinguishability**: ``router.embed(nodes)`` returns bit-for-bit what
+one whole-graph :class:`~repro.serve.server.InferenceServer` with the same
+seed would return, in the caller's node order — sharding is a deployment
+decision, not a semantics change (``tests/test_cluster.py`` asserts this
+exactly, boundary-crossing nodes included).
+
+Request routing is ownership-based scatter-gather: each node goes to its
+owner shard (whose halo makes the answer exact), responses are re-stitched
+into request order.  Boundary-crossing requests — owned nodes whose
+``reach``-hop neighborhood leaves the shard — are counted per shard via the
+plan's precomputed masks (``cluster_halo_requests_total``).
+
+Mutations are **fan-out barriers**: ``add_nodes`` / ``add_edges`` land on
+the global graph, the plan computes which shards are affected and how, and
+the appliers run inside each affected worker (FIFO with its requests).
+Unaffected shards are skipped entirely — their servers never see an event,
+their caches keep every entry — which is the scaling point of fine-grained
+invalidation under sharding.
+
+Telemetry is aggregated two ways: :meth:`summary` merges per-shard
+:class:`~repro.serve.telemetry.Telemetry` reductions (cluster percentiles
+are computed over the union of request records), and
+:meth:`render_prometheus` merges every shard's private registry into one
+exposition with a ``shard`` label per series.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.planner import ClusterPlan, ShardPlanner
+from repro.cluster.worker import ShardWorker
+from repro.graph import HeteroGraph
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank_percentile,
+)
+from repro.serve.server import InferenceServer, serving_reach_of
+
+
+class ClusterRouter:
+    """Shards one serving graph and routes requests by ownership.
+
+    ``classifier_factory(shard_graph)`` must return an *independent*
+    classifier bound to the given graph — one instance per shard, no shared
+    mutable state (thread mode runs them concurrently).  Use
+    :meth:`from_checkpoint` (one load per shard) or :meth:`from_classifier`
+    (checkpoint round-trip through a temp file) instead of calling the
+    constructor directly.
+    """
+
+    def __init__(
+        self,
+        classifier_factory: Callable[[HeteroGraph], object],
+        graph: HeteroGraph,
+        num_shards: int,
+        *,
+        mode: str = "thread",
+        max_batch_size: int = 16,
+        max_wait: float = 0.002,
+        cache_capacity: int = 1024,
+        seed: int = 0,
+        inbox_capacity: int = 256,
+        partition_seed: int = 0,
+        prometheus_path: Optional[str] = None,
+        prometheus_interval: float = 10.0,
+    ) -> None:
+        if mode not in ("thread", "sync"):
+            raise ValueError(f"unknown cluster mode {mode!r}")
+        self.graph = graph
+        self.mode = mode
+        self.seed = int(seed)
+        self.registry = MetricsRegistry()  # router-scope series
+        self._prometheus_path = prometheus_path
+        self._prometheus_interval = float(prometheus_interval)
+        self._prometheus_last_flush = float("-inf")
+        # Probe the reach before partitioning: a classifier without a
+        # declared sampling reach has no provably sufficient halo.
+        probe = classifier_factory(graph)
+        reach = serving_reach_of(probe)
+        if not hasattr(probe, "embed_for_serving") or reach is None:
+            raise ValueError(
+                "sharded serving needs an identity-free classifier with a "
+                "declared sampling reach (WidenConfig.serving_reach); got "
+                f"{type(probe).__name__} with reach={reach!r}"
+            )
+        self.plan: ClusterPlan = ShardPlanner(
+            graph, reach, num_shards, seed=partition_seed
+        ).plan()
+        self.workers: List[ShardWorker] = []
+        for spec in self.plan.shards:
+            server = InferenceServer(
+                classifier_factory(spec.graph),
+                spec.graph,
+                max_batch_size=max_batch_size,
+                max_wait=max_wait,
+                cache_capacity=cache_capacity,
+                seed=seed,
+                registry=MetricsRegistry(),  # private per shard; merged on render
+            )
+            self.workers.append(
+                ShardWorker(
+                    spec, server, mode=mode, inbox_capacity=inbox_capacity
+                ).start()
+            )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, graph: HeteroGraph, num_shards: int, **kwargs
+    ) -> "ClusterRouter":
+        """One classifier per shard, each loaded from the same checkpoint."""
+        from repro.core.classifier import WidenClassifier
+
+        return cls(
+            lambda shard_graph: WidenClassifier.load(path, graph=shard_graph),
+            graph,
+            num_shards,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_classifier(
+        cls, classifier, graph: HeteroGraph, num_shards: int, **kwargs
+    ) -> "ClusterRouter":
+        """Clone a fitted classifier per shard via a checkpoint round-trip.
+
+        Saving once and loading per shard is the clean way to get fully
+        independent instances (parameters copied, no shared trainer state)
+        without deep-copying live graph references.
+        """
+        if not hasattr(classifier, "save"):
+            raise ValueError(
+                f"{type(classifier).__name__} has no save(); shard it via "
+                "from_checkpoint with an explicit checkpoint instead"
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+            checkpoint = Path(tmp) / "classifier.npz"
+            classifier.save(checkpoint)
+            return cls.from_checkpoint(checkpoint, graph, num_shards, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def embed(self, nodes, now: Optional[float] = None) -> np.ndarray:
+        """Embeddings for ``nodes`` in the given order (scatter-gather)."""
+        return self._scatter_gather(nodes, "embed", now)
+
+    def classify(self, nodes, now: Optional[float] = None) -> np.ndarray:
+        """Class predictions for ``nodes`` in the given order."""
+        return self._scatter_gather(nodes, "classify", now)
+
+    def _scatter_gather(self, nodes, kind: str, now: Optional[float]) -> np.ndarray:
+        self._check_open()
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        groups: Dict[int, List[int]] = {}
+        for position, node in enumerate(nodes):
+            shard = self.plan.owner(int(node))
+            self._count_routed(shard, int(node))
+            groups.setdefault(shard, []).append(position)
+        self._maybe_flush_prometheus()
+        results: List[Optional[object]] = [None] * nodes.size
+        if self.mode == "thread":
+            # Fan out first so shards compute concurrently, gather after.
+            futures = []
+            for shard, positions in groups.items():
+                worker = self.workers[shard]
+                for position in positions:
+                    futures.append(
+                        (position, worker.request(int(nodes[position]), kind, now=now))
+                    )
+            for position, future in futures:
+                results[position] = future.result()
+        else:
+            for shard, positions in groups.items():
+                values = self.workers[shard].serve_batch(
+                    nodes[positions], kind, now=now
+                )
+                for position, value in zip(positions, values):
+                    results[position] = value
+        if kind == "embed":
+            return np.stack(results)
+        return np.asarray(results)
+
+    def _count_routed(self, shard: int, node: int) -> None:
+        worker = self.workers[shard]
+        worker.requests_routed += 1
+        self.registry.counter(
+            "cluster_requests_total", shard=str(shard)
+        ).inc()
+        if worker.spec.touches_halo[node]:
+            worker.halo_requests += 1
+            self.registry.counter(
+                "cluster_halo_requests_total", shard=str(shard)
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Streaming mutation fan-out
+    # ------------------------------------------------------------------
+
+    def add_nodes(
+        self,
+        type_name: str,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Streaming node arrival, propagated to every shard (barrier).
+
+        All shards append the same global ids (the id space must stay
+        aligned); the owner — chosen deterministically as the least-loaded
+        shard — receives the real features, everyone else zeros until an
+        edge pulls the node into their halo.
+        """
+        self._check_open()
+        new_ids = self.graph.add_nodes(
+            type_name, features=features, labels=labels, count=count
+        )
+        if features is not None:
+            features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        owner = self.plan.place_new_nodes(new_ids.size)
+        appliers = self.plan.add_nodes_callables(
+            owner, new_ids, type_name, features, labels, new_ids.size
+        )
+        self._barrier(
+            [(shard, fn) for shard, fn in enumerate(appliers)], kind="add_nodes"
+        )
+        return new_ids
+
+    def add_edges(self, edge_type: str, src, dst, symmetric: bool = True) -> None:
+        """Streaming edge arrival, propagated to *affected* shards only.
+
+        The edges land on the global graph first; each shard's materialized
+        edge set is then recomputed, and shards whose closure did not move
+        are skipped outright — no event, no invalidation, caches fully warm.
+        Affected shards apply the repair as one ``replace_edges`` barrier
+        carrying the global changed-sources, so their servers invalidate
+        exactly the frontier a whole-graph server would.
+        """
+        self._check_open()
+        self.graph.add_edges(edge_type, src, dst, symmetric=symmetric)
+        event = self.graph.last_mutation
+        changed_sources = (
+            event.sources if event is not None else np.empty(0, np.int64)
+        )
+        jobs = []
+        for spec in self.plan.shards:
+            applier = self.plan.refresh_shard(spec, changed_sources)
+            if applier is not None:
+                jobs.append((spec.shard_id, applier))
+        self._barrier(jobs, kind="add_edges")
+
+    def _barrier(self, jobs, *, kind: str) -> None:
+        """Run per-shard appliers through their workers; wait for all."""
+        futures = [
+            (shard, self.workers[shard].run_task(fn)) for shard, fn in jobs
+        ]
+        for shard, future in futures:
+            future.result()
+            self.registry.counter(
+                "cluster_mutations_total", kind=kind, shard=str(shard)
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Deterministic trace replay (benchmarks)
+    # ------------------------------------------------------------------
+
+    def replay(self, trace: Sequence) -> Dict[str, object]:
+        """Replay a logical-clock trace through the cluster; sync mode only.
+
+        Events route to their owner shard with the trace's logical arrival
+        times (the same convention as :func:`repro.serve.loadgen.replay`),
+        every shard drains at end-of-stream, and the cluster summary uses
+        the union of per-shard records — throughput over the cluster-wide
+        logical span, so shard parallelism shows up as span compression,
+        not wishful addition.
+        """
+        self._check_open()
+        if self.mode != "sync":
+            raise RuntimeError(
+                "replay() needs mode='sync': logical-clock arrivals are "
+                "deterministic only when the caller drives every shard "
+                "itself (thread scheduling would perturb batch composition)"
+            )
+        self.reset_telemetry()
+        pending: Dict[int, List[int]] = {}
+        for event in trace:
+            node = int(event.node)
+            shard = self.plan.owner(node)
+            self._count_routed(shard, node)
+            server = self.workers[shard].server
+            pending.setdefault(shard, []).append(
+                server.submit(node, now=float(event.time))
+            )
+        end = float(trace[-1].time) if len(trace) else None
+        for shard, ids in pending.items():
+            server = self.workers[shard].server
+            server.drain(end)
+            for request_id in ids:
+                server.result(request_id)
+        return self.summary()
+
+    def reset_telemetry(self) -> None:
+        """Clear per-shard reductions and clocks (between replay passes)."""
+        for worker in self.workers:
+            worker.server.telemetry.reset()
+            worker.server.reset_clock()
+            worker.requests_routed = 0
+            worker.halo_requests = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry aggregation
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Cluster-level reductions plus one summary block per shard."""
+        records = []
+        for worker in self.workers:
+            records.extend(worker.server.telemetry.requests)
+        latencies = [record.latency for record in records]
+        if records:
+            span = max(r.completion for r in records) - min(
+                r.arrival for r in records
+            )
+        else:
+            span = 0.0
+        return {
+            "num_shards": self.plan.num_shards,
+            "mode": self.mode,
+            "requests": len(records),
+            "throughput_rps": (
+                len(records) / span if span > 0 else float("inf") if records else 0.0
+            ),
+            "latency_p50_s": nearest_rank_percentile(latencies, 50),
+            "latency_p95_s": nearest_rank_percentile(latencies, 95),
+            "latency_p99_s": nearest_rank_percentile(latencies, 99),
+            "halo_requests": sum(w.halo_requests for w in self.workers),
+            "edge_cut": self.plan.partition_edge_cut,
+            "replication_factor": self.plan.replication_factor(),
+            "shards": [worker.summary() for worker in self.workers],
+        }
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Every shard's private registry + router series, shard-labeled."""
+        merged = MetricsRegistry()
+        for instrument in self.registry.series():
+            self._copy_instrument(merged, instrument, {})
+        for worker in self.workers:
+            extra = {"shard": str(worker.spec.shard_id)}
+            for instrument in worker.server.telemetry.registry.series():
+                self._copy_instrument(merged, instrument, extra)
+        return merged
+
+    @staticmethod
+    def _copy_instrument(
+        merged: MetricsRegistry, instrument, extra: Dict[str, str]
+    ) -> None:
+        labels = {**instrument.labels, **extra}
+        if isinstance(instrument, Counter):
+            merged.counter(instrument.name, **labels).inc(instrument.value)
+        elif isinstance(instrument, Gauge):
+            merged.gauge(instrument.name, **labels).set(instrument.value)
+        elif isinstance(instrument, Histogram):
+            merged.histogram(instrument.name, **labels).observe_many(
+                instrument._values
+            )
+
+    def render_prometheus(self) -> str:
+        """One Prometheus exposition for the whole cluster."""
+        return self.merged_registry().render_prometheus()
+
+    def flush_prometheus(self) -> Optional[int]:
+        """Write the merged exposition now; None when no path is set."""
+        if self._prometheus_path is None:
+            return None
+        return self.merged_registry().write_prometheus(self._prometheus_path)
+
+    def _maybe_flush_prometheus(self) -> None:
+        if self._prometheus_path is None:
+            return
+        now = time.monotonic()
+        if now - self._prometheus_last_flush < self._prometheus_interval:
+            return
+        self._prometheus_last_flush = now
+        self.flush_prometheus()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (drains inboxes) and detach the servers."""
+        if self._closed:
+            return
+        for worker in self.workers:
+            worker.stop()
+        self._closed = True
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("cluster router is closed")

@@ -1,0 +1,268 @@
+"""One shard = one :class:`InferenceServer` behind a bounded inbox.
+
+A :class:`ShardWorker` is the concurrency unit of the cluster: it owns a
+shard's graph, classifier and server outright, and everything that touches
+them — requests, streaming mutations, telemetry snapshots — flows through
+one FIFO inbox consumed by one thread.  Single-writer ownership is what
+makes the sharded tier safe without any locking inside the serving stack:
+the server, cache and graph are only ever touched from the worker's thread
+(or from the caller's thread in ``sync`` mode, where no thread exists).
+
+The inbox is **bounded** (``queue.Queue(maxsize=...)``), so a hot shard
+exerts backpressure on the router instead of buffering unboundedly — the
+router's enqueue blocks until the worker drains.  The worker drains
+greedily: it blocks for the first item, then scoops everything else already
+queued and processes the burst through the server's micro-batcher in one
+submit-all-then-drain pass, so concurrent arrivals coalesce into real
+batches instead of degenerating into singletons.
+
+Mutations ride the same inbox as plain callables with a result future, so
+they act as **barriers**: every request enqueued before the mutation is
+answered from pre-mutation state, everything after sees post-mutation
+state, with no torn interleavings.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.planner import ShardSpec
+from repro.serve.server import InferenceServer
+
+
+@dataclass
+class _WorkItem:
+    """One inbox entry: a request, a barrier task, or the stop sentinel."""
+
+    kind: str  # "request" | "task" | "stop"
+    future: Optional[Future] = None
+    node: int = -1
+    request_kind: str = "classify"
+    now: Optional[float] = None
+    fn: Optional[Callable[[], object]] = None
+
+
+class ShardWorker:
+    """Owns one shard's server; serializes all access through its inbox.
+
+    ``mode="thread"`` runs a consumer thread (call :meth:`start`);
+    ``mode="sync"`` executes inline on the caller's thread — the
+    deterministic path used by replay benchmarks and equivalence tests,
+    where logical clocks drive arrivals and thread scheduling must not
+    perturb batch composition.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        server: InferenceServer,
+        *,
+        mode: str = "thread",
+        inbox_capacity: int = 256,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if mode not in ("thread", "sync"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        if inbox_capacity < 1:
+            raise ValueError(f"inbox_capacity must be >= 1, got {inbox_capacity}")
+        self.spec = spec
+        self.server = server
+        self.mode = mode
+        self.inbox: "queue.Queue[_WorkItem]" = queue.Queue(maxsize=inbox_capacity)
+        self._poll_interval = float(poll_interval)
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        # Router-visible accounting (written from the routing thread only).
+        self.requests_routed = 0
+        self.halo_requests = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardWorker":
+        if self.mode != "thread":
+            return self
+        if self._thread is not None:
+            raise RuntimeError(f"shard {self.spec.shard_id} already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"shard-{self.spec.shard_id}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding work, stop the thread, detach the server."""
+        if self._thread is not None and not self._stopped:
+            done: Future = Future()
+            self.inbox.put(_WorkItem(kind="stop", future=done))
+            done.result()
+            self._thread.join()
+            self._thread = None
+        self._stopped = True
+        self.server.close()
+
+    # ------------------------------------------------------------------
+    # Producer side (router thread)
+    # ------------------------------------------------------------------
+
+    def request(
+        self, node: int, kind: str, now: Optional[float] = None
+    ) -> Future:
+        """Enqueue one request; the future resolves to the response value.
+
+        Blocks when the inbox is full (bounded-queue backpressure).  In
+        ``sync`` mode the request executes before this returns.
+        """
+        future: Future = Future()
+        item = _WorkItem(
+            kind="request", future=future, node=int(node),
+            request_kind=kind, now=now,
+        )
+        if self.mode == "sync":
+            self._serve_requests([item])
+        else:
+            self.inbox.put(item)
+        return future
+
+    def run_task(self, fn: Callable[[], object]) -> Future:
+        """Enqueue a barrier task (mutation applier, telemetry snapshot).
+
+        Everything enqueued before it completes first; everything after
+        observes its effects.
+        """
+        future: Future = Future()
+        item = _WorkItem(kind="task", future=future, fn=fn)
+        if self.mode == "sync":
+            self._run_task(item)
+        else:
+            self.inbox.put(item)
+        return future
+
+    def serve_batch(
+        self, nodes, kind: str, now: Optional[float] = None
+    ) -> List[object]:
+        """Synchronous convenience: serve ``nodes`` in order, return values.
+
+        In ``sync`` mode this is the scatter-gather leg the router uses
+        directly (one submit-all-then-drain pass, so the micro-batcher sees
+        the whole group); in ``thread`` mode it enqueues and waits (still
+        safe — the worker thread does the serving).
+        """
+        items = [
+            _WorkItem(
+                kind="request", future=Future(), node=int(node),
+                request_kind=kind, now=now,
+            )
+            for node in np.atleast_1d(nodes)
+        ]
+        if self.mode == "sync":
+            self._serve_requests(items)
+        else:
+            for item in items:
+                self.inbox.put(item)
+        return [item.future.result() for item in items]
+
+    # ------------------------------------------------------------------
+    # Consumer side (worker thread, or inline in sync mode)
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self.inbox.get(timeout=self._poll_interval)
+            except queue.Empty:
+                continue
+            burst = [first]
+            while True:
+                try:
+                    burst.append(self.inbox.get_nowait())
+                except queue.Empty:
+                    break
+            if self._process_burst(burst):
+                return
+
+    def _process_burst(self, burst: List[_WorkItem]) -> bool:
+        """Run one scooped burst in FIFO order; True when stopped.
+
+        Contiguous runs of requests go through the server together
+        (submit-all then drain — the micro-batcher coalesces them);
+        tasks and the stop sentinel act as barriers between runs.
+        """
+        pending: List[_WorkItem] = []
+        for item in burst:
+            if item.kind == "request":
+                pending.append(item)
+                continue
+            if pending:
+                self._serve_requests(pending)
+                pending = []
+            if item.kind == "task":
+                self._run_task(item)
+            elif item.kind == "stop":
+                item.future.set_result(None)
+                return True
+        if pending:
+            self._serve_requests(pending)
+        return False
+
+    def _serve_requests(self, items: List[_WorkItem]) -> None:
+        ids: List[Optional[int]] = []
+        for item in items:
+            try:
+                ids.append(
+                    self.server.submit(
+                        item.node, kind=item.request_kind, now=item.now
+                    )
+                )
+            except Exception as error:  # bad node id etc. — fail that future
+                item.future.set_exception(error)
+                ids.append(None)
+        try:
+            self.server.drain()
+        except Exception as error:
+            for item, request_id in zip(items, ids):
+                if request_id is not None:
+                    item.future.set_exception(error)
+            return
+        for item, request_id in zip(items, ids):
+            if request_id is None:
+                continue
+            try:
+                item.future.set_result(self.server.result(request_id).value)
+            except Exception as error:
+                item.future.set_exception(error)
+
+    @staticmethod
+    def _run_task(item: _WorkItem) -> None:
+        try:
+            item.future.set_result(item.fn())
+        except Exception as error:
+            item.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inbox_depth(self) -> int:
+        return self.inbox.qsize()
+
+    def summary(self) -> dict:
+        stats = dict(self.server.telemetry.summary())
+        stats.update(
+            shard=self.spec.shard_id,
+            owned=self.spec.num_owned,
+            halo=int(self.spec.halo.size),
+            requests_routed=self.requests_routed,
+            halo_requests=self.halo_requests,
+            inbox_depth=self.inbox_depth,
+            cache_size=len(self.server.cache),
+        )
+        return stats

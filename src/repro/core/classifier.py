@@ -173,12 +173,23 @@ class WidenClassifier(BaseClassifier):
                 rng=new_rng(rng),
             )
             states.append(store.get(int(node)))
+        # BLAS dispatches single-row matmuls to gemv, whose summation order
+        # differs from the gemm kernel every larger batch hits, while gemm
+        # row results do not depend on which other rows share the call.  Pad
+        # a batch of one with a copy of its own state so the answer carries
+        # the same bits as the same node served inside any larger batch —
+        # the sharded router relies on that to stay exactly equal to a
+        # single server whatever the miss batches look like on either side.
+        padded = nodes.size == 1
+        if padded:
+            nodes = np.concatenate([nodes, nodes])
+            states = [states[0], states[0]]
         model = self.trainer.model
         model.eval()
         with no_grad():
             embeddings, _, _ = model.forward_batch(nodes, states, graph, None)
         model.train()
-        return embeddings.data
+        return embeddings.data[:1] if padded else embeddings.data
 
     # ------------------------------------------------------------------
     # Persistence

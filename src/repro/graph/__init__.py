@@ -7,8 +7,9 @@ protocol, a graph partitioner (the paper's METIS role), and meta-path
 utilities for the HAN/GTN baselines.
 """
 
-from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.hetero_graph import HeteroGraph, MutationEvent
 from repro.graph.builder import GraphBuilder
+from repro.graph.halo import k_hop_in, k_hop_out, mutation_frontier
 from repro.graph.random_walk import random_walk, node2vec_walk
 from repro.graph.sampling import (
     DeepNeighborSet,
@@ -25,7 +26,11 @@ from repro.graph.metapath import (
 
 __all__ = [
     "HeteroGraph",
+    "MutationEvent",
     "GraphBuilder",
+    "k_hop_in",
+    "k_hop_out",
+    "mutation_frontier",
     "random_walk",
     "node2vec_walk",
     "WideNeighborSet",

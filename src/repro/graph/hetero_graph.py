@@ -22,10 +22,35 @@ caches per-node derived state (embedding caches, sampled neighbor stores).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+
+@dataclass
+class MutationEvent:
+    """What a mutation actually changed, for fine-grained invalidation.
+
+    Mutation hooks receive the graph; the event of the mutation that fired
+    them is available as :attr:`HeteroGraph.last_mutation`.  ``kind`` is one
+    of:
+
+    - ``"add_nodes"`` — ``nodes`` holds the freshly appended ids.  No
+      existing adjacency list changed, so nothing previously cached can be
+      stale.
+    - ``"add_edges"`` — ``sources`` holds every node whose out-edge list
+      grew (for symmetric insertion that is both endpoints).  Anything whose
+      sampled neighborhood can reach a changed list within the model's walk
+      depth must recompute; everything else stays valid.
+    - ``"rewire"`` — a structural rebuild with unknown extent; consumers
+      must fall back to full invalidation unless ``sources`` narrows it.
+    """
+
+    kind: str
+    nodes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    sources: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
 
 class HeteroGraph:
@@ -77,6 +102,7 @@ class HeteroGraph:
         )
         self.num_classes = int(num_classes)
         self.version = 0
+        self.last_mutation: Optional[MutationEvent] = None
         self._mutation_hooks: List[Callable[["HeteroGraph"], None]] = []
         self._rebuild_csr(
             np.asarray(src, dtype=np.int64),
@@ -137,8 +163,9 @@ class HeteroGraph:
     def remove_mutation_hook(self, hook: Callable[["HeteroGraph"], None]) -> None:
         self._mutation_hooks.remove(hook)
 
-    def _fire_mutation(self) -> None:
+    def _fire_mutation(self, event: Optional[MutationEvent] = None) -> None:
         self.version += 1
+        self.last_mutation = event
         for hook in list(self._mutation_hooks):
             hook(self)
 
@@ -208,8 +235,9 @@ class HeteroGraph:
         self.indptr = np.concatenate(
             [self.indptr, np.full(count, self.indptr[-1], dtype=np.int64)]
         )
-        self._fire_mutation()
-        return np.arange(start, start + count, dtype=np.int64)
+        new_ids = np.arange(start, start + count, dtype=np.int64)
+        self._fire_mutation(MutationEvent(kind="add_nodes", nodes=new_ids))
+        return new_ids
 
     def add_edges(
         self,
@@ -245,7 +273,40 @@ class HeteroGraph:
             [self.edge_type_of, np.full(src.shape, etype_id, dtype=np.int64)]
         )
         self._rebuild_csr(all_src, all_dst, all_etype)
-        self._fire_mutation()
+        self._fire_mutation(
+            MutationEvent(kind="add_edges", sources=np.unique(src))
+        )
+
+    def replace_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        edge_types: np.ndarray,
+        changed_sources: Optional[np.ndarray] = None,
+    ) -> None:
+        """Swap the entire edge set in place (sharded-serving halo repair).
+
+        Unlike :meth:`add_edges` this may rewrite any adjacency list, so it
+        fires a ``"rewire"`` mutation event.  ``changed_sources`` — the node
+        ids whose out-edge lists actually differ from before — lets
+        fine-grained consumers invalidate only the affected reach; when
+        omitted, consumers must assume everything changed.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        edge_types = np.asarray(edge_types, dtype=np.int64)
+        if not (src.shape == dst.shape == edge_types.shape):
+            raise ValueError("src/dst/edge_types shapes differ")
+        if src.size and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= self.num_nodes
+        ):
+            raise IndexError(f"edge endpoints out of range [0, {self.num_nodes})")
+        self._rebuild_csr(src, dst, edge_types)
+        event = MutationEvent(kind="rewire")
+        if changed_sources is not None:
+            event.sources = np.unique(np.asarray(changed_sources, dtype=np.int64))
+        self._fire_mutation(event)
 
     # ------------------------------------------------------------------
     # Neighborhood access

@@ -28,12 +28,41 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Metric name sanitized to the Prometheus grammar (``/`` -> ``_`` etc.)."""
+    if _PROM_NAME_OK.fullmatch(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not re.match(r"[a-zA-Z_:]", cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_labels(labels: Dict[str, object], extra: Optional[Dict[str, str]] = None) -> str:
+    """Rendered ``{k="v",...}`` block, empty string for a label-free series."""
+    pairs = [(str(k), str(v)) for k, v in sorted(labels.items(), key=lambda kv: str(kv[0]))]
+    if extra:
+        pairs.extend(sorted(extra.items()))
+    if not pairs:
+        return ""
+    rendered = []
+    for key, value in pairs:
+        key = key if _PROM_LABEL_OK.fullmatch(key) else re.sub(r"[^a-zA-Z0-9_]", "_", key)
+        value = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        rendered.append(f'{key}="{value}"')
+    return "{" + ",".join(rendered) + "}"
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -289,6 +318,76 @@ class MetricsRegistry:
         records = [{"kind": "event", **event} for event in self.events]
         records.extend(self.snapshot())
         return records
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition rendering of every instrument.
+
+        The metrics-scrape surface for long-lived servers: counters and
+        gauges render as one sample per labeled series, histograms as the
+        summary convention (``{quantile="0.5|0.95|0.99"}`` samples plus
+        ``_sum``/``_count``), each name preceded by ``# TYPE``.  Names and
+        labels are sanitized to the Prometheus grammar (``serve/latency``
+        becomes ``serve_latency``).  The event log is a replay artifact, not
+        a scrape target, and is not rendered.
+
+        The output ends with a newline, so it can be written verbatim as a
+        textfile-collector file (see ``InferenceServer``'s
+        ``prometheus_path``) or served from a ``/metrics`` handler.
+        """
+        by_name: Dict[str, List[object]] = {}
+        with self._lock:
+            instruments = list(self._series.values())
+        for instrument in instruments:
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            group = by_name[name]
+            prom = _prom_name(name)
+            kind = type(group[0])
+            if kind is Counter:
+                lines.append(f"# TYPE {prom} counter")
+                for c in group:
+                    lines.append(f"{prom}{_prom_labels(c.labels)} {c.value:g}")
+            elif kind is Gauge:
+                lines.append(f"# TYPE {prom} gauge")
+                for g in group:
+                    lines.append(f"{prom}{_prom_labels(g.labels)} {g.value:g}")
+            else:  # Histogram -> summary exposition
+                lines.append(f"# TYPE {prom} summary")
+                for h in group:
+                    for q in (0.5, 0.95, 0.99):
+                        sample = h.quantile(q)
+                        lines.append(
+                            f"{prom}{_prom_labels(h.labels, {'quantile': f'{q:g}'})}"
+                            f" {sample:g}"
+                        )
+                    lines.append(f"{prom}_sum{_prom_labels(h.labels)} {h.sum:g}")
+                    lines.append(f"{prom}_count{_prom_labels(h.labels)} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path) -> int:
+        """Write :meth:`render_prometheus` to ``path``; returns sample lines.
+
+        The write goes through a temp file + atomic replace, the textfile
+        collector convention (a scraper never observes a half-written file).
+        """
+        import os
+        import tempfile
+
+        text = self.render_prometheus()
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".prom-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return sum(1 for line in text.splitlines() if not line.startswith("#"))
 
     def dump_jsonl(self, path) -> int:
         """Write one JSON object per line; returns the record count."""

@@ -36,6 +36,10 @@ class EmbeddingCache:
         # carry the hit rate and capacity can shrink; a flat one means the
         # working set really is this wide.
         self.node_hits: "Counter[int]" = Counter()
+        # Per-node dropped-entry counts — the audit trail of fine-grained
+        # invalidation: after a mutation, exactly the k-hop frontier should
+        # appear here and nothing else.
+        self.node_invalidations: "Counter[int]" = Counter()
 
     def get(self, node: int, version: int) -> Optional[np.ndarray]:
         """Embedding for ``node`` at graph ``version``; None on miss."""
@@ -82,8 +86,18 @@ class EmbeddingCache:
             victims = [key for key in self._entries if key[0] in ids]
         for key in victims:
             del self._entries[key]
+            self.node_invalidations[key[0]] += 1
         self.invalidations += len(victims)
         return len(victims)
+
+    def invalidate_nodes(self, nodes: Iterable[int]) -> int:
+        """Drop every resident entry of the given node ids; returns count.
+
+        The fine-grained invalidation path: a mutation hook passes the k-hop
+        frontier of the change and everything outside it stays warm.  Each
+        dropped entry is recorded in :attr:`node_invalidations`.
+        """
+        return self.invalidate(nodes=nodes)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -10,17 +10,28 @@ graph's mutation hooks then invalidate every cache layer, so a
 post-mutation request can never observe pre-mutation state.
 
 Determinism: for classifiers exposing ``embed_for_serving`` (WIDEN), each
-cache miss is computed with an rng seeded by ``(server seed, graph version,
-node id)``.  A response is therefore a pure function of the model
-parameters, the graph contents and the server seed — independent of request
-order, batching boundaries and cache history.  That is what makes the
-"mutated server == cold server" test in ``tests/test_serve.py`` exact
-rather than statistical.
+cache miss is computed with an rng seeded by ``(server seed, node version,
+node id)``, where the *node version* counts the mutations whose k-hop
+frontier reached that node.  A response is therefore a pure function of the
+model parameters, the graph mutation history and the server seed —
+independent of request order, batching boundaries and cache history.  That
+is what makes the "mutated server == cold server" test in
+``tests/test_serve.py`` exact rather than statistical, and what lets a
+sharded cluster (``repro.cluster``) reproduce single-server answers
+bit-for-bit.
 
-The server is single-threaded by design (the whole stack is numpy on one
-core); the batcher exists to amortize per-call overhead and to model the
-deadline/size trade-off, not to juggle OS threads.  Concurrent request
-handling is an open ROADMAP item.
+Invalidation is fine-grained when the classifier declares its sampling
+reach (``WidenConfig.serving_reach``): a mutation's
+:class:`~repro.graph.MutationEvent` names the adjacency lists that changed,
+the reverse-BFS :func:`~repro.graph.halo.mutation_frontier` bounds which
+embeddings could observe the change, and only those nodes are bumped and
+dropped from the cache — the rest of the working set stays warm.  Mutations
+without an event (or classifiers without a declared reach) fall back to the
+original behavior: a global epoch bump that drops everything.
+
+One server is single-threaded by design (the batcher amortizes per-call
+overhead, it does not juggle OS threads); concurrency comes from running
+one server per shard on worker threads — see ``repro.cluster``.
 """
 
 from __future__ import annotations
@@ -32,11 +43,28 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.baselines.common import BaseClassifier
-from repro.graph import HeteroGraph
+from repro.graph import HeteroGraph, mutation_frontier
 from repro.obs import MetricsRegistry, get_registry
 from repro.serve.batcher import MicroBatcher, ServeRequest
 from repro.serve.cache import EmbeddingCache
 from repro.serve.telemetry import RequestRecord, Telemetry
+
+
+def serving_reach_of(classifier) -> Optional[int]:
+    """The classifier's declared sampling reach (out-hops), or ``None``.
+
+    WIDEN declares it via :attr:`WidenConfig.serving_reach`; duck-typed
+    classifiers may expose a plain ``serving_reach`` int attribute.  ``None``
+    means the reach is unknown and consumers must assume whole-graph
+    dependence (full invalidation, no sharding).
+    """
+    reach = getattr(getattr(classifier, "config", None), "serving_reach", None)
+    if reach is None:
+        reach = getattr(classifier, "serving_reach", None)
+    if reach is None:
+        return None
+    reach = int(reach)
+    return reach if reach >= 1 else None
 
 
 @dataclass
@@ -69,6 +97,8 @@ class InferenceServer:
         cache_capacity: int = 1024,
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        prometheus_path: Optional[str] = None,
+        prometheus_interval: float = 10.0,
     ) -> None:
         if classifier.graph is None:
             # A freshly loaded checkpoint: bind the serving graph (schema
@@ -103,6 +133,23 @@ class InferenceServer:
         # every miss), so graph mutations need no classifier-side refresh;
         # generic classifiers fall back to embed() + cache rebuild.
         self._identity_free = hasattr(classifier, "embed_for_serving")
+        # Per-node versioning: version_of(n) = base + epoch + bumps[n].
+        # ``base`` absorbs the graph version at attach time (a server built
+        # on an already-mutated graph seeds like the old global scheme did);
+        # ``epoch`` counts coarse, whole-graph invalidations; ``bumps``
+        # counts the fine-grained mutations whose frontier reached the node.
+        self._version_base = graph.version
+        self._epoch = 0
+        self._node_bumps: Dict[int, int] = {}
+        self._serving_reach = (
+            serving_reach_of(classifier) if self._identity_free else None
+        )
+        # Optional Prometheus text exposition: rewritten atomically at most
+        # once per ``prometheus_interval`` seconds of request-clock time
+        # (textfile-collector convention; no HTTP listener in this repo).
+        self._prometheus_path = prometheus_path
+        self._prometheus_interval = float(prometheus_interval)
+        self._prometheus_last_flush = float("-inf")
         self._hook = graph.add_mutation_hook(self._on_graph_mutation)
 
     # ------------------------------------------------------------------
@@ -120,6 +167,7 @@ class InferenceServer:
             )
         now = self._now(now)
         self._poll_deadline(now)
+        self._maybe_flush_prometheus(now)
         self.telemetry.record_queue_depth(self.batcher.depth)
         request = ServeRequest(self._next_id, node, now, kind)
         self._next_id += 1
@@ -139,7 +187,7 @@ class InferenceServer:
             self.classifier, "predict_from_embeddings"
         ):
             return False
-        cached = self.cache.get(request.node, self.graph.version)
+        cached = self.cache.get(request.node, self._version_of(request.node))
         if cached is None:
             return False
         start = time.perf_counter()
@@ -212,10 +260,63 @@ class InferenceServer:
         """Streaming edge arrival (fires invalidation like ``add_nodes``)."""
         self.graph.add_edges(edge_type, src, dst, symmetric=symmetric)
 
+    def _version_of(self, node: int) -> int:
+        """The node's serving version: rng seed component and cache key."""
+        return self._version_base + self._epoch + self._node_bumps.get(int(node), 0)
+
+    def flush_prometheus(self) -> Optional[int]:
+        """Write the registry's Prometheus rendering now (if a path is set).
+
+        Returns the sample-line count, or ``None`` when no ``prometheus_path``
+        was configured.  The periodic hook on the request path calls this at
+        most once per ``prometheus_interval``; call it directly for an
+        end-of-run flush.
+        """
+        if self._prometheus_path is None:
+            return None
+        return self.telemetry.registry.write_prometheus(self._prometheus_path)
+
+    def _maybe_flush_prometheus(self, now: float) -> None:
+        if self._prometheus_path is None:
+            return
+        if now - self._prometheus_last_flush < self._prometheus_interval:
+            return
+        self._prometheus_last_flush = now
+        self.flush_prometheus()
+
     def _on_graph_mutation(self, graph: HeteroGraph) -> None:
-        # Entries of dead versions can never be read again (the key embeds
-        # the version); drop them eagerly so they stop holding capacity.
-        self.cache.invalidate(keep_version=graph.version)
+        event = graph.last_mutation
+        if self._identity_free and self._serving_reach is not None and event is not None:
+            if event.kind == "add_nodes":
+                # Appended nodes start isolated: no existing adjacency list
+                # changed, so every resident entry is still exact.  Bump the
+                # new ids (nothing is cached for them yet) and keep the
+                # whole cache warm.
+                frontier = event.nodes
+            elif event.sources.size or event.kind == "add_edges":
+                frontier = mutation_frontier(
+                    graph, event.sources, self._serving_reach
+                )
+            else:
+                frontier = None  # rewire of unknown extent
+            if frontier is not None:
+                for node in frontier:
+                    node = int(node)
+                    self._node_bumps[node] = self._node_bumps.get(node, 0) + 1
+                dropped = self.cache.invalidate_nodes(frontier)
+                self.telemetry.record_invalidation(
+                    frontier_size=int(len(frontier)),
+                    dropped=dropped,
+                    kept=len(self.cache),
+                )
+                return
+        # Coarse fallback: unknown mutation extent or identity-carrying
+        # classifier — bump every node at once and drop the whole cache.
+        self._epoch += 1
+        dropped = self.cache.invalidate()
+        self.telemetry.record_invalidation(
+            frontier_size=self.graph.num_nodes, dropped=dropped, kept=0
+        )
         if not self._identity_free and self.classifier.graph is graph:
             self.classifier.refresh_graph_caches()
 
@@ -252,13 +353,13 @@ class InferenceServer:
         """Cold-path embeddings for ``nodes`` — one batched model call.
 
         Determinism is preserved under batching: each node gets its own rng
-        seeded ``(server seed, graph version, node id)``, so every row is
+        seeded ``(server seed, node version, node id)``, so every row is
         identical to a single-node computation regardless of which other
         misses happened to share the batch.
         """
         if self._identity_free:
             rngs = [
-                np.random.default_rng([self.seed, self.graph.version, int(node)])
+                np.random.default_rng([self.seed, self._version_of(node), int(node)])
                 for node in nodes
             ]
             if hasattr(self.classifier, "embed_for_serving_batch"):
@@ -282,12 +383,11 @@ class InferenceServer:
     def _execute(self, batch: List[ServeRequest], flush_time: float) -> None:
         flush_time = max(flush_time, self._busy_until)
         start = time.perf_counter()
-        version = self.graph.version
         embeddings: Dict[int, np.ndarray] = {}
         hit: Dict[int, bool] = {}
         miss_nodes: List[int] = []
         for node in dict.fromkeys(request.node for request in batch):
-            cached = self.cache.get(node, version)
+            cached = self.cache.get(node, self._version_of(node))
             if cached is not None:
                 embeddings[node] = cached
                 hit[node] = True
@@ -299,7 +399,7 @@ class InferenceServer:
             computed = self._compute_embeddings(miss_nodes)
             self.telemetry.record_compute_batch(len(miss_nodes))
             for node, embedding in zip(miss_nodes, computed):
-                self.cache.put(node, version, embedding)
+                self.cache.put(node, self._version_of(node), embedding)
                 embeddings[node] = embedding
         classify_requests = [r for r in batch if r.kind == "classify"]
         predictions: Dict[int, int] = {}

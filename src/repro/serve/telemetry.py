@@ -57,6 +57,9 @@ class Telemetry:
     batch_sizes: List[int] = field(default_factory=list)
     compute_batch_sizes: List[int] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
+    # One record per mutation-triggered invalidation: the k-hop frontier
+    # size, how many resident entries it dropped and how many stayed warm.
+    invalidation_records: List[Dict[str, int]] = field(default_factory=list)
     max_batch_size: int = 1
     registry: Optional[MetricsRegistry] = None
     # Attached EmbeddingCache (duck-typed); lets summary() surface the
@@ -101,6 +104,32 @@ class Telemetry:
         if self.registry is not None:
             self.registry.histogram("serve_queue_depth").observe(depth)
 
+    def record_invalidation(
+        self, *, frontier_size: int, dropped: int, kept: int
+    ) -> None:
+        """One mutation-triggered cache invalidation.
+
+        ``frontier_size`` is how many nodes the mutation's k-hop frontier
+        covered (the whole graph on the coarse fallback path), ``dropped``
+        how many resident cache entries it removed, ``kept`` how many stayed
+        warm — the audit trail that fine-grained invalidation actually kept
+        the rest of the working set."""
+        self.invalidation_records.append(
+            {
+                "frontier_size": int(frontier_size),
+                "dropped": int(dropped),
+                "kept": int(kept),
+            }
+        )
+        if self.registry is not None:
+            self.registry.counter("serve_invalidations_total").inc()
+            self.registry.counter("serve_invalidated_entries_total").inc(
+                max(0, int(dropped))
+            )
+            self.registry.histogram("serve_invalidation_frontier").observe(
+                frontier_size
+            )
+
     def reset(self) -> None:
         """Clear local records (e.g. between a warmup and a measured pass).
 
@@ -110,6 +139,7 @@ class Telemetry:
         self.batch_sizes.clear()
         self.compute_batch_sizes.clear()
         self.queue_depths.clear()
+        self.invalidation_records.clear()
 
     # -- reductions -----------------------------------------------------
 
@@ -178,6 +208,13 @@ class Telemetry:
         )
         stats["compute_batch_max"] = (
             float(max(self.compute_batch_sizes)) if self.compute_batch_sizes else 0.0
+        )
+        stats["invalidations"] = len(self.invalidation_records)
+        stats["invalidated_entries"] = float(
+            sum(r["dropped"] for r in self.invalidation_records)
+        )
+        stats["invalidation_kept_entries"] = float(
+            sum(r["kept"] for r in self.invalidation_records)
         )
         if self.cache is not None and hasattr(self.cache, "node_hit_histogram"):
             node_hits = self.cache.node_hit_histogram()

@@ -16,7 +16,16 @@ push its output gradient back to the operation's inputs, and
 """
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.ops import get_scatter_thresholds, set_scatter_thresholds
 from repro.tensor import ops
 from repro.tensor import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "ops", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "get_scatter_thresholds",
+    "set_scatter_thresholds",
+    "ops",
+    "functional",
+]

@@ -9,18 +9,75 @@ the forward result with numpy, and registers a backward closure via
 from __future__ import annotations
 
 import builtins
-from typing import Optional, Sequence
+import os
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.tensor.tensor import Tensor, as_tensor
 
-# Below this many gathered rows the bincount/one-hot construction overhead
-# outweighs the ufunc.at cost; measured crossover is a few dozen rows.
-_SCATTER_SPARSE_MIN_ROWS = 64
-# Up to this many one-hot entries the scatter runs as a dense gemm — for a
-# small destination (the edge-type table) BLAS beats CSR by another 4x.
-_SCATTER_DENSE_MAX_CELLS = 65536
+# Backend crossover points for the scatter-add backward of the batched
+# gather kernels.  The defaults were measured on one reference machine, so
+# they are tunable: ``REPRO_SCATTER_SPARSE_MIN_ROWS`` /
+# ``REPRO_SCATTER_DENSE_MAX_CELLS`` in the environment at import time, or
+# :func:`set_scatter_thresholds` at runtime (e.g. after a quick sweep on the
+# deployment host).
+#
+# - ``sparse_min_rows``: below this many gathered rows the bincount/one-hot
+#   construction overhead outweighs the ``ufunc.at`` cost; measured
+#   crossover is a few dozen rows.
+# - ``dense_max_cells``: up to this many one-hot entries the scatter runs as
+#   a dense gemm — for a small destination (the edge-type table) BLAS beats
+#   CSR by another 4x.
+_SCATTER_DEFAULTS = {"sparse_min_rows": 64, "dense_max_cells": 65536}
+
+
+def _scatter_thresholds_from_env() -> Dict[str, int]:
+    thresholds = dict(_SCATTER_DEFAULTS)
+    for key, var in (
+        ("sparse_min_rows", "REPRO_SCATTER_SPARSE_MIN_ROWS"),
+        ("dense_max_cells", "REPRO_SCATTER_DENSE_MAX_CELLS"),
+    ):
+        raw = os.environ.get(var)
+        if raw is None:
+            continue
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"{var} must be an integer, got {raw!r}") from exc
+        if value < 0:
+            raise ValueError(f"{var} must be >= 0, got {value}")
+        thresholds[key] = value
+    return thresholds
+
+
+_SCATTER_THRESHOLDS = _scatter_thresholds_from_env()
+
+
+def set_scatter_thresholds(
+    sparse_min_rows: Optional[int] = None, dense_max_cells: Optional[int] = None
+) -> Dict[str, int]:
+    """Override the scatter-add backend crossovers; returns the active values.
+
+    Pass only the thresholds to change; ``None`` leaves a value untouched.
+    ``sparse_min_rows=0`` forces the vectorized backends for every size;
+    a very large value forces ``np.add.at`` everywhere (the reference
+    backend — useful for A/B timing on a new machine).
+    """
+    if sparse_min_rows is not None:
+        if sparse_min_rows < 0:
+            raise ValueError(f"sparse_min_rows must be >= 0, got {sparse_min_rows}")
+        _SCATTER_THRESHOLDS["sparse_min_rows"] = int(sparse_min_rows)
+    if dense_max_cells is not None:
+        if dense_max_cells < 0:
+            raise ValueError(f"dense_max_cells must be >= 0, got {dense_max_cells}")
+        _SCATTER_THRESHOLDS["dense_max_cells"] = int(dense_max_cells)
+    return dict(_SCATTER_THRESHOLDS)
+
+
+def get_scatter_thresholds() -> Dict[str, int]:
+    """The active scatter-add backend crossover thresholds (a copy)."""
+    return dict(_SCATTER_THRESHOLDS)
 
 
 def _scatter_add_rows(
@@ -47,8 +104,8 @@ def _scatter_add_rows(
         np.ones(m) if weights is None
         else np.ascontiguousarray(weights, dtype=np.float64).ravel()
     )
-    if m >= _SCATTER_SPARSE_MIN_ROWS:
-        if num_rows * m <= _SCATTER_DENSE_MAX_CELLS:
+    if m >= _SCATTER_THRESHOLDS["sparse_min_rows"]:
+        if num_rows * m <= _SCATTER_THRESHOLDS["dense_max_cells"]:
             onehot = np.zeros((m, num_rows))
             onehot[np.arange(m), flat_index] = flat_weights
             return onehot.T @ flat_grad

@@ -14,6 +14,7 @@ need it.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -22,7 +23,20 @@ import numpy as np
 Number = Union[int, float, np.floating, np.integer]
 TensorLike = Union["Tensor", Number, np.ndarray, Sequence]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread grad-recording flag.
+
+    Thread-local because concurrent serving (``repro.cluster`` shard workers)
+    runs ``no_grad`` inference on worker threads while the main thread may
+    keep training: a process-global flag would let one thread's ``no_grad``
+    exit re-enable (or permanently disable) recording under another's feet.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 # Op-level profiler hook (see repro.obs.profiler.OpProfiler).  ``from_op`` is
 # the one funnel every forward operation passes through, and ``backward``
@@ -44,19 +58,22 @@ def get_profiler():
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph recording (for inference/eval)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph recording (for inference/eval).
+
+    The flag is per-thread, so concurrent shard workers can run inference
+    without toggling grad recording for each other (or for a training loop
+    on the main thread)."""
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 class Tensor:
@@ -92,7 +109,7 @@ class Tensor:
                 f"only floating-point tensors can require grad, got {array.dtype}"
             )
         self.data: np.ndarray = array
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self.grad: Optional[np.ndarray] = None
         self._parents: tuple = ()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -125,7 +142,7 @@ class Tensor:
         parent requires grad.
         """
         parents = tuple(parents)
-        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs_grad = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs_grad, name=name)
         if needs_grad:
             out._parents = parents

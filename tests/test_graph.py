@@ -8,6 +8,9 @@ from hypothesis import strategies as st
 from repro.graph import (
     GraphBuilder,
     edge_cut,
+    k_hop_in,
+    k_hop_out,
+    mutation_frontier,
     metapath_adjacency,
     metapath_neighbors,
     node2vec_walk,
@@ -446,3 +449,87 @@ class TestMetapath:
         sums = np.asarray(norm.sum(axis=1)).reshape(-1)
         nonzero = sums[sums > 0]
         np.testing.assert_allclose(nonzero, np.ones_like(nonzero), atol=1e-12)
+
+
+class TestHalo:
+    """k-hop reachability (repro.graph.halo) — the sharding substrate."""
+
+    def test_depth_zero_is_the_seeds(self):
+        graph = small_academic_graph()
+        seeds = np.array([3, 7, 11])
+        np.testing.assert_array_equal(k_hop_out(graph, seeds, 0), seeds)
+        np.testing.assert_array_equal(k_hop_in(graph, seeds, 0), seeds)
+
+    def test_depth_one_matches_adjacency(self):
+        graph = small_academic_graph()
+        seed = 5
+        neighbors, _ = graph.neighbors(seed)
+        want = np.unique(np.append(neighbors, seed))
+        np.testing.assert_array_equal(k_hop_out(graph, [seed], 1), want)
+
+    def test_out_sets_grow_monotonically_with_depth(self):
+        graph = small_academic_graph()
+        seeds = [0]
+        previous = k_hop_out(graph, seeds, 0)
+        for depth in range(1, 5):
+            current = k_hop_out(graph, seeds, depth)
+            assert np.isin(previous, current).all()
+            previous = current
+
+    def test_in_is_the_reverse_of_out(self):
+        """u reaches v within d out-hops iff u is in v's d-hop in-set."""
+        graph = small_academic_graph(seed=3)
+        for v in (2, 17, 40):
+            in_set = set(k_hop_in(graph, [v], 2).tolist())
+            for u in range(graph.num_nodes):
+                reaches = v in k_hop_out(graph, [u], 2)
+                assert (u in in_set) == reaches
+
+    def test_empty_seeds_empty_result(self):
+        graph = small_academic_graph()
+        assert k_hop_out(graph, np.empty(0, dtype=np.int64), 3).size == 0
+        assert k_hop_in(graph, np.empty(0, dtype=np.int64), 3).size == 0
+
+    def test_out_of_range_seeds_rejected(self):
+        graph = small_academic_graph()
+        with pytest.raises(IndexError):
+            k_hop_out(graph, [graph.num_nodes], 1)
+        with pytest.raises(IndexError):
+            k_hop_in(graph, [-1], 1)
+
+    def test_negative_depth_rejected(self):
+        graph = small_academic_graph()
+        with pytest.raises(ValueError):
+            k_hop_out(graph, [0], -1)
+        with pytest.raises(ValueError):
+            k_hop_in(graph, [0], -1)
+
+    def test_mutation_frontier_is_reach_minus_one_in_hops(self):
+        graph = small_academic_graph()
+        sources = np.array([4, 9])
+        np.testing.assert_array_equal(
+            mutation_frontier(graph, sources, 3), k_hop_in(graph, sources, 2)
+        )
+        np.testing.assert_array_equal(
+            mutation_frontier(graph, sources, 1), np.sort(sources)
+        )
+        with pytest.raises(ValueError):
+            mutation_frontier(graph, sources, 0)
+
+
+class TestPartitionDeterminism:
+    def test_same_seed_same_parts(self):
+        graph = small_academic_graph(seed=2)
+        first = partition_graph(graph, 3, rng=11)
+        second = partition_graph(graph, 3, rng=11)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_one_part_per_node_is_singletons(self):
+        graph = small_academic_graph()
+        parts = partition_graph(graph, graph.num_nodes, rng=0)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [1] * graph.num_nodes
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(graph.num_nodes))

@@ -380,3 +380,61 @@ class TestTimingAlias:
         seconds, result = time_call(lambda: 42)
         assert result == 42
         assert seconds >= 0.0
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", route="embed").inc(3)
+        registry.counter("requests_total", route="classify").inc()
+        registry.gauge("queue_depth").set(7)
+        text = registry.render_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{route="embed"} 3' in text
+        assert 'requests_total{route="classify"} 1' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_summary_convention(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"}' in text
+        assert 'latency_seconds{quantile="0.95"}' in text
+        assert 'latency_seconds{quantile="0.99"}' in text
+        assert "latency_seconds_sum 1" in text
+        assert "latency_seconds_count 4" in text
+
+    def test_names_and_labels_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/latency-ms", **{"shard": "0"}).inc()
+        text = registry.render_prometheus()
+        assert "serve_latency_ms" in text
+        assert "serve/latency-ms" not in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", shard="0").inc()
+        registry.counter("hits_total", shard="1").inc()
+        text = registry.render_prometheus()
+        assert text.count("# TYPE hits_total counter") == 1
+
+    def test_write_prometheus_atomic_and_counts_samples(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("b").set(2)
+        out = tmp_path / "metrics.prom"
+        written = registry.write_prometheus(out)
+        assert written == 2  # sample lines, not TYPE comments
+        text = out.read_text()
+        assert registry.render_prometheus() == text
+        # No temp-file droppings left behind (atomic replace convention).
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".prom-")]
+        assert leftovers == []

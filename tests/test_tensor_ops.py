@@ -358,3 +358,120 @@ class TestGraphMechanics:
         a = Tensor(np.ones((2, 2)), requires_grad=True)
         with pytest.raises(ValueError):
             a.accumulate_grad(np.ones((3, 3)))
+
+
+class TestScatterThresholds:
+    """Backend crossover tuning for the scatter-add backward."""
+
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        before = ops.get_scatter_thresholds()
+        yield
+        ops.set_scatter_thresholds(**before)
+
+    def test_get_returns_a_copy(self):
+        first = ops.get_scatter_thresholds()
+        first["sparse_min_rows"] = -999
+        assert ops.get_scatter_thresholds()["sparse_min_rows"] != -999
+
+    def test_set_partial_updates_and_returns_active(self):
+        active = ops.set_scatter_thresholds(sparse_min_rows=5)
+        assert active["sparse_min_rows"] == 5
+        active = ops.set_scatter_thresholds(dense_max_cells=100)
+        assert active["sparse_min_rows"] == 5  # untouched by partial set
+        assert active["dense_max_cells"] == 100
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ops.set_scatter_thresholds(sparse_min_rows=-1)
+        with pytest.raises(ValueError):
+            ops.set_scatter_thresholds(dense_max_cells=-1)
+
+    def test_env_override_and_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCATTER_SPARSE_MIN_ROWS", "17")
+        assert ops._scatter_thresholds_from_env()["sparse_min_rows"] == 17
+        monkeypatch.setenv("REPRO_SCATTER_SPARSE_MIN_ROWS", "many")
+        with pytest.raises(ValueError, match="integer"):
+            ops._scatter_thresholds_from_env()
+        monkeypatch.setenv("REPRO_SCATTER_SPARSE_MIN_ROWS", "-3")
+        with pytest.raises(ValueError, match=">= 0"):
+            ops._scatter_thresholds_from_env()
+
+    @pytest.mark.parametrize(
+        "thresholds",
+        [
+            # Force np.add.at (the reference backend) for every size.
+            dict(sparse_min_rows=10**9, dense_max_cells=0),
+            # Force the dense one-hot gemm formulation.
+            dict(sparse_min_rows=0, dense_max_cells=10**9),
+            # Force the flat bincount formulation.
+            dict(sparse_min_rows=0, dense_max_cells=0),
+        ],
+    )
+    def test_backends_agree_with_reference(self, rng, thresholds):
+        index = rng.integers(0, 6, size=(5, 4))
+        grad = rng.normal(size=(5, 4, 3))
+        weights = rng.normal(size=(5, 4))
+        want = np.zeros((6, 3))
+        np.add.at(
+            want, index.ravel(),
+            grad.reshape(-1, 3) * weights.ravel()[:, None],
+        )
+        ops.set_scatter_thresholds(**thresholds)
+        got = ops._scatter_add_rows(6, index, grad, weights=weights)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+class TestGradModeThreadLocal:
+    """no_grad() scoping is per-thread (shard workers vs training loop)."""
+
+    def test_no_grad_in_main_does_not_leak_to_worker(self):
+        import threading
+
+        from repro.tensor.tensor import is_grad_enabled
+
+        seen = {}
+
+        def worker():
+            seen["enabled"] = is_grad_enabled()
+
+        with no_grad():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["enabled"] is True
+
+    def test_no_grad_in_worker_does_not_leak_to_main(self):
+        import threading
+
+        from repro.tensor.tensor import is_grad_enabled
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5)
+        try:
+            assert is_grad_enabled() is True
+            a = Tensor(np.ones(3), requires_grad=True)
+            assert (a * 2).requires_grad  # main thread still records
+        finally:
+            release.set()
+            thread.join()
+
+    def test_no_grad_restores_on_exit(self):
+        from repro.tensor.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
