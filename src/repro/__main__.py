@@ -14,12 +14,18 @@ Commands
     Poisson/Zipf arrival trace, and print a latency/throughput report:
     cold single-request baseline vs. the batched server (cold cache) vs.
     the batched server (warm cache).
-``serve-cluster [dataset] [--shards K] [--smoke] ...``
+``serve-cluster [dataset] [--shards K] [--transport T] [--smoke] ...``
     Train WIDEN, shard the serving graph into K halo-replicated shards
     (:mod:`repro.cluster`), replay the same deterministic trace through the
     scatter-gather router, and print the cluster report: per-shard
-    ownership/halo/latency plus cluster throughput.  ``--prometheus-out``
-    writes the merged shard-labeled Prometheus exposition.
+    ownership/halo/latency plus cluster throughput.  ``--transport``
+    selects the shard boundary: ``inline`` (deterministic replay, default),
+    ``thread`` (worker threads), or ``mp`` (worker processes rebuilt from
+    the checkpoint).  ``--prometheus-out`` writes the merged shard-labeled
+    Prometheus exposition.
+``tune-scatter [--repeats N] [--tuning-out F]``
+    Micro-sweep the scatter-add backend crossovers on this machine and
+    print the ``REPRO_SCATTER_*`` environment settings they imply.
 ``profile [dataset] [--epochs N] [--trace-out F] [--metrics-out F]``
     Train WIDEN under the :mod:`repro.obs` instrumentation: prints an
     op-level time/FLOP table and the per-epoch message-volume series, and
@@ -27,9 +33,12 @@ Commands
     per-epoch loss/F1/message-volume/KL-trigger series.
 
 ``train`` and ``serve-bench`` additionally accept ``--metrics-out FILE`` to
-dump the shared metrics registry as JSONL after the run.  Every WIDEN run
-accepts ``--forward-mode {batched,per_node}`` to select the vectorized
-batched forward path (default) or the per-node reference loop.
+dump the shared metrics registry as JSONL after the run.  ``serve-bench``
+and ``serve-cluster`` accept ``--metrics-port P`` to expose a live
+Prometheus ``/metrics`` endpoint for the duration of the run (port 0
+picks a free port).  Every WIDEN run accepts ``--forward-mode
+{batched,per_node}`` to select the vectorized batched forward path
+(default) or the per-node reference loop.
 """
 
 from __future__ import annotations
@@ -79,6 +88,22 @@ def _maybe_dump_metrics(args: argparse.Namespace) -> None:
 
         count = get_registry().dump_jsonl(args.metrics_out)
         print(f"wrote {count} metric records to {args.metrics_out}")
+
+
+def _maybe_serve_metrics(args: argparse.Namespace, render):
+    """Start a live ``/metrics`` endpoint when ``--metrics-port`` is given.
+
+    Returns the server (caller closes it) or ``None``.  ``render`` is a
+    zero-argument callable producing the Prometheus text exposition, read
+    per scrape.
+    """
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from repro.obs import MetricsHTTPServer
+
+    server = MetricsHTTPServer(render, port=args.metrics_port)
+    print(f"metrics endpoint live at {server.url}")
+    return server
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -217,11 +242,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             max_batch_size=args.batch_size, max_wait=args.max_wait,
             cache_capacity=args.cache_capacity, seed=args.seed,
         )
-        replay(server, trace)
-        print(server.telemetry.format_report("server, first pass (cold cache)"))
-        warm = replay(server, trace)
-        print()
-        print(server.telemetry.format_report("server, replayed pass (warm cache)"))
+        from repro.obs import get_registry
+
+        endpoint = _maybe_serve_metrics(
+            args, lambda: get_registry().render_prometheus()
+        )
+        try:
+            replay(server, trace)
+            print(server.telemetry.format_report(
+                "server, first pass (cold cache)"))
+            warm = replay(server, trace)
+            print()
+            print(server.telemetry.format_report(
+                "server, replayed pass (warm cache)"))
+        finally:
+            if endpoint is not None:
+                endpoint.close()
         speedup = (
             cold["latency_mean_s"] / warm["latency_mean_s"]
             if warm["latency_mean_s"] > 0 else float("inf")
@@ -257,14 +293,16 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         path = registry.save(f"widen-{dataset.name}", model)
         router = ClusterRouter.from_checkpoint(
             path, dataset.graph, args.shards,
-            mode="sync",  # deterministic logical-clock replay
+            transport=args.transport,
             max_batch_size=args.batch_size, max_wait=args.max_wait,
             cache_capacity=args.cache_capacity, seed=args.seed,
             partition_seed=args.seed,
             prometheus_path=args.prometheus_out,
         )
+        endpoint = _maybe_serve_metrics(args, router.render_prometheus)
         plan = router.plan.summary()
-        print(f"\nplan: {plan['num_shards']} shards, reach {plan['reach']}, "
+        print(f"\nplan: {plan['num_shards']} shards over the "
+              f"{args.transport} transport, reach {plan['reach']}, "
               f"edge cut {plan['edge_cut']}, "
               f"replication {plan['replication_factor']:.2f}x")
         for shard in plan["shards"]:
@@ -299,8 +337,25 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         if args.prometheus_out:
             lines = router.flush_prometheus()
             print(f"\nwrote {lines} Prometheus samples to {args.prometheus_out}")
+        if endpoint is not None:
+            endpoint.close()
         router.close()
     _maybe_dump_metrics(args)
+    return 0
+
+
+def _cmd_tune_scatter(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tensor.tuning import format_report, run_tuning
+
+    dim = args.dim if args.dim is not None else 64
+    report = run_tuning(dim=dim, repeats=args.repeats)
+    print(format_report(report))
+    if args.tuning_out:
+        with open(args.tuning_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote sweep report to {args.tuning_out}")
     return 0
 
 
@@ -309,7 +364,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "command",
         choices=(
-            "stats", "train", "compare", "serve-bench", "serve-cluster", "profile",
+            "stats", "train", "compare", "serve-bench", "serve-cluster",
+            "profile", "tune-scatter",
         ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
@@ -345,14 +401,26 @@ def main(argv=None) -> int:
                        help="micro-batcher deadline, seconds")
     serve.add_argument("--cache-capacity", type=int, default=1024,
                        help="embedding cache entries")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="expose a live Prometheus /metrics endpoint on "
+                            "this port for the run (0 picks a free port)")
     cluster = parser.add_argument_group("serve-cluster")
     cluster.add_argument("--shards", type=int, default=2,
                          help="number of halo-replicated shards")
+    cluster.add_argument("--transport", choices=("inline", "thread", "mp"),
+                         default="inline",
+                         help="shard boundary: inline (deterministic "
+                              "replay), thread workers, or mp processes")
     cluster.add_argument("--smoke", action="store_true",
                          help="CI-sized run: caps scale/epochs/requests")
     cluster.add_argument("--prometheus-out", default=None,
                          help="write the merged shard-labeled Prometheus "
                               "text exposition to this path")
+    tune = parser.add_argument_group("tune-scatter")
+    tune.add_argument("--repeats", type=int, default=30,
+                      help="timing repeats per backend per shape (median)")
+    tune.add_argument("--tuning-out", default=None,
+                      help="write the sweep report as JSON to this path")
     args = parser.parse_args(argv)
     args.dataset = args.dataset or args.dataset_flag
     if args.command == "profile" and args.metrics_out is None:
@@ -364,6 +432,7 @@ def main(argv=None) -> int:
         "serve-bench": _cmd_serve_bench,
         "serve-cluster": _cmd_serve_cluster,
         "profile": _cmd_profile,
+        "tune-scatter": _cmd_tune_scatter,
     }
     return handlers[args.command](args)
 

@@ -6,26 +6,69 @@ while preserving its exact semantics:
 - :mod:`~repro.cluster.planner` — partition the serving graph into owned
   sets (``repro.graph.partition``) and materialize, per shard, the owned
   subgraph plus the L-hop *halo* that makes owned answers bit-identical to
-  a whole-graph server (L = the model's declared sampling reach).
-- :mod:`~repro.cluster.worker` — one :class:`InferenceServer` per shard
-  behind a bounded FIFO inbox; single-writer ownership instead of locks.
-- :mod:`~repro.cluster.router` — ownership-based scatter-gather with
-  order-preserving merges, mutation fan-out barriers that skip unaffected
-  shards, and cluster-wide telemetry/Prometheus aggregation.
+  a whole-graph server (L = the model's declared sampling reach).  Shard
+  specs serialize compactly (:meth:`ShardSpec.to_payload`) and mutations
+  propagate as serializable commands — nothing in the plan assumes shared
+  memory.
+- :mod:`~repro.cluster.transport` — the pluggable message boundary: typed
+  :class:`Envelope`/:class:`Reply` pairs over ``inline`` (deterministic
+  replay on the caller's thread, pickle round-trip included), ``thread``
+  (bounded-inbox worker thread) or ``mp`` (one OS process per shard,
+  rebuilt from checkpoint + shard payload on spawn).
+- :mod:`~repro.cluster.engine` — the far side of the boundary: one rebuilt
+  shard spec + one :class:`InferenceServer`, driven entirely by envelope
+  dispatch.
+- :mod:`~repro.cluster.worker` — the router's per-shard protocol stub
+  (serve scatter legs, mutation barriers, telemetry pulls).
+- :mod:`~repro.cluster.router` — ownership-based async scatter-gather with
+  order-preserving merges, per-shard gather timeouts, mutation fan-out
+  barriers that skip unaffected shards, and cluster-wide
+  telemetry/Prometheus aggregation over serialized snapshots.
 
-The contract throughout: sharding is a deployment decision, not a
-semantics change — ``ClusterRouter.embed(nodes)`` equals a single server's
-output bit for bit, for any shard count.
+The contract throughout: sharding — and the transport it runs on — is a
+deployment decision, not a semantics change. ``ClusterRouter.embed(nodes)``
+equals a single server's output bit for bit, for any shard count, on every
+transport.
 """
 
-from repro.cluster.planner import ClusterPlan, ShardPlanner, ShardSpec
+from repro.cluster.engine import ShardEngine
+from repro.cluster.planner import (
+    AddNodesCommand,
+    ClusterPlan,
+    RefreshCommand,
+    ShardPlanner,
+    ShardSpec,
+)
 from repro.cluster.router import ClusterRouter
+from repro.cluster.transport import (
+    Envelope,
+    InlineTransport,
+    MpTransport,
+    Reply,
+    ShardCrashError,
+    ShardError,
+    ShardTimeoutError,
+    ThreadTransport,
+    Transport,
+)
 from repro.cluster.worker import ShardWorker
 
 __all__ = [
+    "AddNodesCommand",
     "ClusterPlan",
     "ClusterRouter",
+    "Envelope",
+    "InlineTransport",
+    "MpTransport",
+    "RefreshCommand",
+    "Reply",
+    "ShardCrashError",
+    "ShardEngine",
+    "ShardError",
     "ShardPlanner",
     "ShardSpec",
+    "ShardTimeoutError",
     "ShardWorker",
+    "ThreadTransport",
+    "Transport",
 ]

@@ -1,0 +1,196 @@
+"""The engine side of the shard boundary: envelopes in, replies out.
+
+:class:`ShardEngine` is everything that lives *behind* a transport: one
+rebuilt :class:`~repro.cluster.planner.ShardSpec` (its own graph, its own
+arrays — never shared with the router) and one
+:class:`~repro.serve.server.InferenceServer` over it.  The protocol layer
+(:class:`~repro.cluster.worker.ShardWorker` + a transport) never touches
+the server; it only ships :class:`~repro.cluster.transport.Envelope`\\ s,
+and :meth:`handle` is the single dispatch point — which is why the same
+engine code runs inline, on a worker thread, and in a spawned process
+without any behavioral difference.
+
+Envelope kinds:
+
+- ``serve`` — a batch of requests for owned nodes.  Submit-all then drain,
+  so the server's micro-batcher sees the whole group at once; per-item
+  outcomes (a bad node id fails its own item, not its neighbors').
+- ``replay`` — a shard's slice of a logical-clock trace, processed
+  atomically inside one envelope: arrivals come from trace times, so batch
+  composition is identical on every transport (the scheduler never gets a
+  vote).
+- ``mutate`` — one serializable planner command, applied to the engine's
+  own spec copy.  The graph mutation fires the server's invalidation hook
+  exactly as on a whole-graph server.  FIFO envelope order makes this a
+  barrier between the serve envelopes around it.
+- ``telemetry`` / ``metrics`` / ``serving_state`` — snapshot pulls, all
+  answered as plain payloads (the obs layer's serializable forms).
+- ``reset`` — clear telemetry + the logical clock (between replay passes).
+- ``shutdown`` — detach the server; the transport tears the channel down.
+
+Every handler runs under a try/except that converts failures into error
+replies — exceptions are data on this boundary, raised again only at the
+router's gather.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.planner import ShardSpec
+from repro.cluster.transport import Envelope, Reply, error_info
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.server import InferenceServer
+
+
+class ShardEngine:
+    """One shard's serving state plus the envelope dispatch loop."""
+
+    def __init__(self, spec: ShardSpec, server: InferenceServer) -> None:
+        self.spec = spec
+        self.server = server
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Construction (runs wherever the transport puts the engine)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        spec_payload: Dict[str, object],
+        *,
+        config: Dict[str, object],
+        checkpoint: Optional[str] = None,
+        classifier_factory=None,
+    ) -> "ShardEngine":
+        """Rebuild a shard from its serialized plan slice.
+
+        ``checkpoint`` is the spawn path every transport can use (the mp
+        worker *must*: a live classifier does not cross the pipe);
+        ``classifier_factory`` is the in-process alternative for routers
+        constructed around a factory.  Either way the engine's spec comes
+        from :meth:`ShardSpec.from_payload` — independent arrays, so the
+        router-side mirror and the engine advance only via the shared
+        command stream, never via aliasing.
+        """
+        spec = ShardSpec.from_payload(spec_payload)
+        kwargs = dict(
+            max_batch_size=int(config.get("max_batch_size", 16)),
+            max_wait=float(config.get("max_wait", 0.002)),
+            cache_capacity=int(config.get("cache_capacity", 1024)),
+            seed=int(config.get("seed", 0)),
+            registry=MetricsRegistry(),  # private per shard; merged on render
+        )
+        if checkpoint is not None:
+            server = InferenceServer.from_checkpoint(
+                checkpoint, spec.graph, **kwargs
+            )
+        elif classifier_factory is not None:
+            server = InferenceServer(
+                classifier_factory(spec.graph), spec.graph, **kwargs
+            )
+        else:
+            raise ValueError("need a checkpoint path or a classifier_factory")
+        return cls(spec, server)
+
+    @classmethod
+    def from_args(cls, args: Dict[str, object]) -> "ShardEngine":
+        """Entry point for spawned workers (see ``_engine_process_main``)."""
+        return cls.build(
+            args["spec_payload"],
+            config=args["config"],
+            checkpoint=args["checkpoint"],
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, envelope: Envelope) -> Reply:
+        try:
+            handler = getattr(self, f"_handle_{envelope.kind}", None)
+            if handler is None:
+                raise ValueError(f"unknown envelope kind {envelope.kind!r}")
+            return Reply(seq=envelope.seq, ok=True, payload=handler(envelope.payload))
+        except Exception as exc:
+            return Reply(seq=envelope.seq, ok=False, error=error_info(exc))
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _handle_serve(self, payload: Dict[str, object]) -> Dict[str, object]:
+        nodes = np.atleast_1d(np.asarray(payload["nodes"], dtype=np.int64))
+        kind = payload.get("kind", "classify")
+        now = payload.get("now")
+        items = []
+        request_ids = []
+        for node in nodes:
+            try:
+                request_ids.append(
+                    self.server.submit(int(node), kind=kind, now=now)
+                )
+                items.append(None)  # filled after the drain
+            except Exception as exc:  # bad node id etc. — fail this item only
+                request_ids.append(None)
+                items.append({"ok": False, "error": error_info(exc)})
+        self.server.drain()
+        for position, request_id in enumerate(request_ids):
+            if request_id is None:
+                continue
+            try:
+                value = self.server.result(request_id).value
+                items[position] = {"ok": True, "value": value}
+            except Exception as exc:
+                items[position] = {"ok": False, "error": error_info(exc)}
+        return {"items": items}
+
+    def _handle_replay(self, payload: Dict[str, object]) -> Dict[str, object]:
+        nodes = np.atleast_1d(np.asarray(payload["nodes"], dtype=np.int64))
+        times = np.atleast_1d(np.asarray(payload["times"], dtype=np.float64))
+        if nodes.size != times.size:
+            raise ValueError("replay nodes/times length mismatch")
+        request_ids = [
+            self.server.submit(int(node), now=float(t))
+            for node, t in zip(nodes, times)
+        ]
+        end = payload.get("end")
+        self.server.drain(None if end is None else float(end))
+        for request_id in request_ids:
+            self.server.result(request_id)
+        return {"served": len(request_ids)}
+
+    def _handle_mutate(self, payload: Dict[str, object]) -> Dict[str, object]:
+        # spec.apply mutates the shard graph, which fires the server's
+        # registered invalidation hook — same event, same frontier bumps
+        # as a whole-graph server observing the same mutation.
+        self.spec.apply(payload["command"])
+        return {"version": int(self.spec.graph.version)}
+
+    def _handle_telemetry(self, payload: Dict[str, object]) -> Dict[str, object]:
+        telemetry = self.server.telemetry
+        return {
+            "telemetry": telemetry.to_payload(),
+            "summary": telemetry.summary(),
+            "cache_size": len(self.server.cache),
+        }
+
+    def _handle_metrics(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return {"registry": self.server.telemetry.registry.to_payload()}
+
+    def _handle_serving_state(self, payload: Dict[str, object]) -> Dict[str, object]:
+        return {"serving_state": self.server.export_serving_state()}
+
+    def _handle_reset(self, payload: Dict[str, object]) -> Dict[str, object]:
+        self.server.telemetry.reset()
+        self.server.reset_clock()
+        return {}
+
+    def _handle_shutdown(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if not self.closed:
+            self.server.close()
+            self.closed = True
+        return {}

@@ -31,12 +31,27 @@ boundary-crossing requests).  The plan also precomputes, per shard, the
 ``touches_halo`` mask — owned nodes within ``reach`` out-hops of a
 non-owned node — which the router uses to count boundary-crossing requests
 without any per-request BFS.
+
+Since the transport refactor, shard state crosses a **message boundary**:
+
+- :meth:`ShardSpec.to_payload` / :meth:`ShardSpec.from_payload` are the
+  compact serialized form a spawned worker process rebuilds its shard from
+  — plain arrays only, features restricted to the halo rows (everything
+  outside is zero by construction), so spawning a shard costs plan
+  *shipping*, not re-planning.
+- Streaming mutations propagate as serializable **commands**
+  (:class:`AddNodesCommand` / :class:`RefreshCommand`) instead of Python
+  closures.  The plan applies each command to its own router-side mirror
+  spec (so routing masks and the next refresh diff stay current) and the
+  router ships the identical command to the shard engine, which applies it
+  to its independent copy — the two sides stay aligned because they replay
+  the same command stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -45,12 +60,57 @@ from repro.graph.partition import edge_cut, partition_graph
 
 
 @dataclass
+class AddNodesCommand:
+    """Serializable per-shard applier for a streaming node arrival.
+
+    Every shard appends the same global ids (the id space must stay
+    aligned); only the owner receives real ``features`` — the rest get
+    zeros until some edge pulls the arrivals into their halo.
+    """
+
+    type_name: str
+    features: Optional[np.ndarray]
+    labels: Optional[np.ndarray]
+    count: int
+    expected_ids: np.ndarray
+    is_owner: bool
+
+
+@dataclass
+class RefreshCommand:
+    """Serializable applier bringing a shard up to date with the global
+    edge set after ``add_edges`` moved its materialized closure.
+
+    Carries the shard's full new edge arrays, the refreshed halo (ids +
+    feature rows) and routing masks, plus the *global* ``changed_sources``
+    so the shard server's reverse-BFS bumps exactly the frontier a
+    whole-graph server would.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    edge_types: np.ndarray
+    closure_sources: np.ndarray
+    halo: np.ndarray
+    halo_features: Optional[np.ndarray]
+    touches_halo: np.ndarray
+    changed_sources: np.ndarray
+
+
+MutationCommand = Union[AddNodesCommand, RefreshCommand]
+
+
+@dataclass
 class ShardSpec:
     """One shard: its ownership, replication sets and materialized graph.
 
     All node ids are **global** ids; ``graph`` spans the full id space with
     edges restricted to ``closure_sources`` and features zeroed outside
-    ``halo``.
+    ``halo``.  Two instances of a spec exist at runtime: the plan's
+    router-side mirror (routing masks, refresh diffs) and the engine's
+    working copy (rebuilt from :meth:`to_payload` behind the transport) —
+    both advance by applying the same :class:`MutationCommand` stream via
+    :meth:`apply`.
     """
 
     shard_id: int
@@ -83,6 +143,136 @@ class ShardSpec:
                 self.touches_halo[self.owned].sum() if self.owned.size else 0
             ),
         }
+
+    # ------------------------------------------------------------------
+    # Message-boundary serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Compact, picklable form of this shard (plain arrays only).
+
+        Features ship as halo rows plus the halo index — everything outside
+        the halo is zero by construction, so a shard of a large graph
+        crosses the process boundary at replication-factor cost, not
+        whole-feature-matrix cost.
+        """
+        graph = self.graph
+        return {
+            "shard_id": int(self.shard_id),
+            "owned": self.owned,
+            "closure_sources": self.closure_sources,
+            "halo": self.halo,
+            "touches_halo": self.touches_halo,
+            "node_types": graph.node_types,
+            "src": graph._src,
+            "dst": graph.indices,
+            "edge_types": graph.edge_type_of,
+            "node_type_names": list(graph.node_type_names),
+            "edge_type_names": list(graph.edge_type_names),
+            "labels": graph.labels,
+            "num_classes": int(graph.num_classes),
+            "version": int(graph.version),
+            "feature_dim": (
+                None if graph.features is None else int(graph.features.shape[1])
+            ),
+            "halo_features": (
+                None if graph.features is None else graph.features[self.halo]
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ShardSpec":
+        """Rebuild an independent spec (own graph, own arrays) from
+        :meth:`to_payload` output.
+
+        The payload's edge arrays are already in stable CSR order, and
+        ``HeteroGraph._rebuild_csr`` uses a stable argsort, so the rebuilt
+        adjacency lists are verbatim identical — the precondition for
+        bit-identical seeded sampling on the far side of the boundary.
+        """
+        features = None
+        if payload["feature_dim"] is not None:
+            features = np.zeros(
+                (payload["node_types"].shape[0], payload["feature_dim"])
+            )
+            features[payload["halo"]] = payload["halo_features"]
+        graph = HeteroGraph(
+            node_types=payload["node_types"].copy(),
+            src=payload["src"].copy(),
+            dst=payload["dst"].copy(),
+            edge_types=payload["edge_types"].copy(),
+            node_type_names=list(payload["node_type_names"]),
+            edge_type_names=list(payload["edge_type_names"]),
+            features=features,
+            labels=payload["labels"].copy(),
+            num_classes=payload["num_classes"],
+        )
+        # Align the version counter (the rng-seed base of the shard server)
+        # with the global graph at plan time.
+        graph.version = payload["version"]
+        return cls(
+            shard_id=payload["shard_id"],
+            owned=payload["owned"].copy(),
+            closure_sources=payload["closure_sources"].copy(),
+            halo=payload["halo"].copy(),
+            graph=graph,
+            touches_halo=payload["touches_halo"].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Command application (runs on the mirror AND inside the engine)
+    # ------------------------------------------------------------------
+
+    def apply(self, command: MutationCommand) -> None:
+        """Apply one mutation command to this spec's graph and sets.
+
+        The same function runs on the router-side mirror and inside every
+        shard engine; determinism of the command stream is what keeps the
+        two aligned without shared memory.
+        """
+        if isinstance(command, AddNodesCommand):
+            self._apply_add_nodes(command)
+        elif isinstance(command, RefreshCommand):
+            self._apply_refresh(command)
+        else:
+            raise TypeError(f"unknown mutation command {type(command).__name__}")
+
+    def _apply_add_nodes(self, command: AddNodesCommand) -> None:
+        got = self.graph.add_nodes(
+            command.type_name,
+            features=command.features,
+            labels=command.labels,
+            count=command.count,
+        )
+        if not np.array_equal(got, command.expected_ids):
+            raise RuntimeError(
+                f"shard {self.shard_id} id space diverged: appended "
+                f"{got}, global appended {command.expected_ids}"
+            )
+        grown = np.zeros(self.graph.num_nodes, dtype=bool)
+        grown[: self.touches_halo.size] = self.touches_halo
+        self.touches_halo = grown
+        if command.is_owner:
+            # Isolated arrivals: owned and in-halo by definition (depth-0
+            # reachability), crossing nothing yet.
+            self.owned = np.concatenate([self.owned, command.expected_ids])
+            self.closure_sources = np.union1d(
+                self.closure_sources, command.expected_ids
+            )
+            self.halo = np.union1d(self.halo, command.expected_ids)
+
+    def _apply_refresh(self, command: RefreshCommand) -> None:
+        if command.halo_features is not None:
+            self.graph.features[command.halo] = command.halo_features
+        self.closure_sources = command.closure_sources
+        self.halo = command.halo
+        self.touches_halo = command.touches_halo
+        self.graph.replace_edges(
+            command.src,
+            command.dst,
+            command.edge_types,
+            changed_sources=command.changed_sources,
+        )
 
 
 def _shard_edge_arrays(graph: HeteroGraph, closure_sources: np.ndarray):
@@ -214,11 +404,11 @@ class ClusterPlan:
 
     The plan owns the ownership map and, under streaming mutations, knows
     how to propagate a change from the global graph into each shard: which
-    shards are affected at all, what their new edge sets / halos are, and
-    what ``changed_sources`` to report so per-shard fine-grained
-    invalidation bumps exactly the nodes a whole-graph server would bump.
-    The router applies the resulting callables inside each shard's worker
-    (the worker owns its graph; the plan never mutates across threads).
+    shards are affected at all, and what serializable command brings them
+    up to date.  Command builders apply each command to the plan's own
+    mirror spec immediately (routing masks and the next refresh diff stay
+    current) and return it for the router to ship to the shard engine —
+    the engine's copy replays the identical command behind the transport.
     """
 
     global_graph: HeteroGraph
@@ -266,7 +456,7 @@ class ClusterPlan:
         sizes = [spec.num_owned for spec in self.shards]
         return int(np.argmin(sizes))
 
-    def add_nodes_callables(
+    def add_nodes_commands(
         self,
         owner: int,
         new_ids: np.ndarray,
@@ -274,87 +464,56 @@ class ClusterPlan:
         features: Optional[np.ndarray],
         labels: Optional[np.ndarray],
         count: int,
-    ) -> List[Callable[[], None]]:
-        """Per-shard appliers for a node arrival already on the global graph.
+    ) -> List[AddNodesCommand]:
+        """Per-shard commands for a node arrival already on the global graph.
 
         Every shard appends the same ids (the global id space must stay
         aligned), but only the owner receives real features — for everyone
         else the arrivals are outside the halo until some edge pulls them
-        in, at which point :meth:`refresh_shard` re-materializes features.
+        in, at which point :meth:`refresh_command` re-materializes features.
         ``HeteroGraph.add_nodes`` fires an ``add_nodes`` event on each shard
         graph, so per-shard servers bump exactly the new ids — the same
         no-drop invalidation a whole-graph server performs.
         """
         new_ids = np.asarray(new_ids, dtype=np.int64)
         zeros = None if features is None else np.zeros_like(np.atleast_2d(features))
-        appliers = []
+        commands = []
         for spec in self.shards:
             is_owner = spec.shard_id == owner
-            appliers.append(
-                self._make_add_nodes_applier(
-                    spec,
-                    new_ids,
-                    type_name,
-                    (features if is_owner else zeros),
-                    labels,
-                    count,
-                    is_owner,
-                )
+            command = AddNodesCommand(
+                type_name=type_name,
+                features=(features if is_owner else zeros),
+                labels=labels,
+                count=count,
+                expected_ids=new_ids,
+                is_owner=is_owner,
             )
+            spec.apply(command)  # keep the router-side mirror current
+            commands.append(command)
         self.owner_of = np.concatenate(
             [self.owner_of, np.full(new_ids.size, owner, dtype=np.int64)]
         )
-        return appliers
+        return commands
 
-    def _make_add_nodes_applier(
-        self,
-        spec: ShardSpec,
-        new_ids: np.ndarray,
-        type_name: str,
-        features: Optional[np.ndarray],
-        labels: Optional[np.ndarray],
-        count: int,
-        is_owner: bool,
-    ) -> Callable[[], None]:
-        def apply() -> None:
-            got = spec.graph.add_nodes(
-                type_name, features=features, labels=labels, count=count
-            )
-            if not np.array_equal(got, new_ids):
-                raise RuntimeError(
-                    f"shard {spec.shard_id} id space diverged: appended "
-                    f"{got}, global appended {new_ids}"
-                )
-            grown = np.zeros(spec.graph.num_nodes, dtype=bool)
-            grown[: spec.touches_halo.size] = spec.touches_halo
-            spec.touches_halo = grown
-            if is_owner:
-                # Isolated arrivals: owned and in-halo by definition
-                # (depth-0 reachability), crossing nothing yet.
-                spec.owned = np.concatenate([spec.owned, new_ids])
-                spec.closure_sources = np.union1d(spec.closure_sources, new_ids)
-                spec.halo = np.union1d(spec.halo, new_ids)
-
-        return apply
-
-    def refresh_shard(
+    def refresh_command(
         self, spec: ShardSpec, changed_sources: np.ndarray
-    ) -> Optional[Callable[[], None]]:
-        """Applier bringing ``spec`` up to date with the global edge set.
+    ) -> Optional[RefreshCommand]:
+        """Command bringing ``spec`` up to date with the global edge set.
 
         Returns ``None`` when the shard's materialized edges are unchanged
         — the adjacency lists inside its closure did not move, hence (by
         path-locality) no owned node's served embedding can observe the
-        mutation, and the shard is skipped without firing any invalidation.
+        mutation, and the shard is skipped without any envelope at all.
 
-        Otherwise the applier refreshes halo features, swaps the edge set in
-        one :meth:`HeteroGraph.replace_edges` call and reports the *global*
-        ``changed_sources``: the shard server's reverse-BFS then bumps
-        ``frontier ∩ owned`` exactly as a whole-graph server does (every
-        ``<= reach-1``-hop path from an owned node to a changed source runs
-        inside the closure, so shard-local reachability agrees with global
-        reachability on owned nodes).  One mutation, one event, one bump —
-        the version counters stay aligned with the single-server timeline.
+        Otherwise the command refreshes halo features, swaps the edge set
+        in one :meth:`HeteroGraph.replace_edges` call and reports the
+        *global* ``changed_sources``: the shard server's reverse-BFS then
+        bumps ``frontier ∩ owned`` exactly as a whole-graph server does
+        (every ``<= reach-1``-hop path from an owned node to a changed
+        source runs inside the closure, so shard-local reachability agrees
+        with global reachability on owned nodes).  One mutation, one event,
+        one bump — the version counters stay aligned with the
+        single-server timeline.
         """
         graph = self.global_graph
         closure_sources = k_hop_out(graph, spec.owned, self.reach - 1)
@@ -368,18 +527,17 @@ class ClusterPlan:
         )
         if unchanged:
             return None
-        touches = _touches_halo_mask(graph, spec.owned, self.reach)
-        changed_sources = np.asarray(changed_sources, dtype=np.int64)
-        features = graph.features
-
-        def apply() -> None:
-            if features is not None:
-                spec.graph.features[halo] = features[halo]
-            spec.closure_sources = closure_sources
-            spec.halo = halo
-            spec.touches_halo = touches
-            spec.graph.replace_edges(
-                src, dst, etypes, changed_sources=changed_sources
-            )
-
-        return apply
+        command = RefreshCommand(
+            src=src,
+            dst=dst,
+            edge_types=etypes,
+            closure_sources=closure_sources,
+            halo=halo,
+            halo_features=(
+                None if graph.features is None else graph.features[halo]
+            ),
+            touches_halo=_touches_halo_mask(graph, spec.owned, self.reach),
+            changed_sources=np.asarray(changed_sources, dtype=np.int64),
+        )
+        spec.apply(command)  # keep the router-side mirror current
+        return command

@@ -1,55 +1,67 @@
-"""Scatter-gather routing over a fleet of shard workers.
+"""Scatter-gather routing over a fleet of shard engines behind transports.
 
 :class:`ClusterRouter` is the cluster's front door: it owns the *global*
 serving graph (the source of truth mutations land on first), the
-:class:`~repro.cluster.planner.ClusterPlan` (ownership + halos), and one
-:class:`~repro.cluster.worker.ShardWorker` per shard.  Its contract is
-**indistinguishability**: ``router.embed(nodes)`` returns bit-for-bit what
-one whole-graph :class:`~repro.serve.server.InferenceServer` with the same
-seed would return, in the caller's node order — sharding is a deployment
-decision, not a semantics change (``tests/test_cluster.py`` asserts this
-exactly, boundary-crossing nodes included).
+:class:`~repro.cluster.planner.ClusterPlan` (ownership + halos + the
+router-side mirror specs), and one
+:class:`~repro.cluster.worker.ShardWorker` per shard — a protocol stub
+over a pluggable :mod:`~repro.cluster.transport` (``inline`` /
+``thread`` / ``mp``).  Its contract is **indistinguishability**:
+``router.embed(nodes)`` returns bit-for-bit what one whole-graph
+:class:`~repro.serve.server.InferenceServer` with the same seed would
+return, in the caller's node order — sharding *and transport choice* are
+deployment decisions, not semantics changes (``tests/test_cluster.py`` and
+``tests/test_transport.py`` assert this exactly, boundary-crossing nodes
+and post-mutation state included).
 
-Request routing is ownership-based scatter-gather: each node goes to its
-owner shard (whose halo makes the answer exact), responses are re-stitched
-into request order.  Boundary-crossing requests — owned nodes whose
-``reach``-hop neighborhood leaves the shard — are counted per shard via the
-plan's precomputed masks (``cluster_halo_requests_total``).
+The request path is **async scatter-gather**: requests group by owner
+shard, one serve envelope per shard is issued for the whole group (so
+every shard computes concurrently on the thread and mp transports), and
+the replies are gathered afterwards with a per-shard timeout, re-stitched
+into request order.  Shard failures come back as error envelopes and are
+raised at the gather as :class:`~repro.cluster.transport.ShardError` —
+never as a hung router.
 
 Mutations are **fan-out barriers**: ``add_nodes`` / ``add_edges`` land on
-the global graph, the plan computes which shards are affected and how, and
-the appliers run inside each affected worker (FIFO with its requests).
-Unaffected shards are skipped entirely — their servers never see an event,
-their caches keep every entry — which is the scaling point of fine-grained
-invalidation under sharding.
+the global graph, the plan turns them into serializable commands (applied
+to its own mirror specs for routing), and each affected shard replays the
+identical command behind its transport — FIFO with its serve envelopes.
+Unaffected shards are skipped entirely: no envelope, no event, caches
+fully warm.
 
-Telemetry is aggregated two ways: :meth:`summary` merges per-shard
-:class:`~repro.serve.telemetry.Telemetry` reductions (cluster percentiles
-are computed over the union of request records), and
-:meth:`render_prometheus` merges every shard's private registry into one
-exposition with a ``shard`` label per series.
+Telemetry crosses the boundary as data: :meth:`summary` merges per-shard
+:class:`~repro.serve.telemetry.Telemetry` payloads (cluster percentiles
+over the union of request records), and :meth:`render_prometheus` merges
+every shard's serialized registry snapshot into one exposition with a
+``shard`` label per series — the same output whether the registries live
+in this process or in four others.
 """
 
 from __future__ import annotations
 
+import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.engine import ShardEngine
 from repro.cluster.planner import ClusterPlan, ShardPlanner
+from repro.cluster.transport import (
+    TRANSPORT_KINDS,
+    InlineTransport,
+    MpTransport,
+    ThreadTransport,
+    Transport,
+)
 from repro.cluster.worker import ShardWorker
 from repro.graph import HeteroGraph
-from repro.obs.metrics import (
-    Counter,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    nearest_rank_percentile,
-)
-from repro.serve.server import InferenceServer, serving_reach_of
+from repro.obs.metrics import MetricsRegistry, nearest_rank_percentile
+from repro.serve.server import load_checkpoint_classifier, serving_reach_of
+
+_MODE_ALIASES = {"sync": "inline", "thread": "thread"}
 
 
 class ClusterRouter:
@@ -57,40 +69,63 @@ class ClusterRouter:
 
     ``classifier_factory(shard_graph)`` must return an *independent*
     classifier bound to the given graph — one instance per shard, no shared
-    mutable state (thread mode runs them concurrently).  Use
-    :meth:`from_checkpoint` (one load per shard) or :meth:`from_classifier`
-    (checkpoint round-trip through a temp file) instead of calling the
-    constructor directly.
+    mutable state.  The ``mp`` transport cannot ship live classifiers
+    across the process boundary, so it requires checkpoint-driven
+    construction: use :meth:`from_checkpoint`, or :meth:`from_classifier`
+    (which round-trips through a temp checkpoint for any transport).
+    ``mode`` is the pre-transport spelling and maps ``sync``→``inline``.
     """
 
     def __init__(
         self,
-        classifier_factory: Callable[[HeteroGraph], object],
+        classifier_factory: Optional[Callable[[HeteroGraph], object]],
         graph: HeteroGraph,
         num_shards: int,
         *,
-        mode: str = "thread",
+        transport: Optional[str] = None,
+        mode: Optional[str] = None,
+        checkpoint: Optional[str] = None,
         max_batch_size: int = 16,
         max_wait: float = 0.002,
         cache_capacity: int = 1024,
         seed: int = 0,
         inbox_capacity: int = 256,
         partition_seed: int = 0,
+        request_timeout: Optional[float] = 120.0,
+        start_timeout: float = 120.0,
         prometheus_path: Optional[str] = None,
         prometheus_interval: float = 10.0,
     ) -> None:
-        if mode not in ("thread", "sync"):
-            raise ValueError(f"unknown cluster mode {mode!r}")
+        if transport is None:
+            transport = _MODE_ALIASES.get(mode, "thread") if mode else "thread"
+        elif mode is not None:
+            raise ValueError("pass either transport= or the legacy mode=, not both")
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORT_KINDS}"
+            )
+        if transport == "mp" and checkpoint is None:
+            raise ValueError(
+                "the mp transport rebuilds each shard's server in a worker "
+                "process and needs a checkpoint; construct the router via "
+                "from_checkpoint()/from_classifier()"
+            )
+        if classifier_factory is None and checkpoint is None:
+            raise ValueError("need a classifier_factory or a checkpoint")
         self.graph = graph
-        self.mode = mode
+        self.transport_kind = transport
         self.seed = int(seed)
+        self.request_timeout = request_timeout
         self.registry = MetricsRegistry()  # router-scope series
         self._prometheus_path = prometheus_path
         self._prometheus_interval = float(prometheus_interval)
         self._prometheus_last_flush = float("-inf")
         # Probe the reach before partitioning: a classifier without a
         # declared sampling reach has no provably sufficient halo.
-        probe = classifier_factory(graph)
+        if classifier_factory is not None:
+            probe = classifier_factory(graph)
+        else:
+            probe = load_checkpoint_classifier(checkpoint)
         reach = serving_reach_of(probe)
         if not hasattr(probe, "embed_for_serving") or reach is None:
             raise ValueError(
@@ -101,23 +136,74 @@ class ClusterRouter:
         self.plan: ClusterPlan = ShardPlanner(
             graph, reach, num_shards, seed=partition_seed
         ).plan()
+        config = {
+            "max_batch_size": int(max_batch_size),
+            "max_wait": float(max_wait),
+            "cache_capacity": int(cache_capacity),
+            "seed": int(seed),
+        }
         self.workers: List[ShardWorker] = []
         for spec in self.plan.shards:
-            server = InferenceServer(
-                classifier_factory(spec.graph),
-                spec.graph,
-                max_batch_size=max_batch_size,
-                max_wait=max_wait,
-                cache_capacity=cache_capacity,
-                seed=seed,
-                registry=MetricsRegistry(),  # private per shard; merged on render
+            channel = self._make_transport(
+                transport,
+                spec.shard_id,
+                spec.to_payload(),
+                config,
+                checkpoint=checkpoint,
+                classifier_factory=classifier_factory,
+                inbox_capacity=inbox_capacity,
+                start_timeout=start_timeout,
             )
-            self.workers.append(
-                ShardWorker(
-                    spec, server, mode=mode, inbox_capacity=inbox_capacity
-                ).start()
-            )
+            self.workers.append(ShardWorker(spec, channel).start())
+        # Gather readiness after *all* spawns are launched, so a fleet of
+        # mp workers loads its checkpoints concurrently.  Once this returns
+        # the checkpoint file is no longer needed (from_classifier relies
+        # on that to delete its temp dir).
+        for worker in self.workers:
+            worker.wait_ready(start_timeout)
         self._closed = False
+
+    @staticmethod
+    def _make_transport(
+        kind: str,
+        shard_id: int,
+        spec_payload: Dict[str, object],
+        config: Dict[str, object],
+        *,
+        checkpoint: Optional[str],
+        classifier_factory,
+        inbox_capacity: int,
+        start_timeout: float,
+    ) -> Transport:
+        if kind == "mp":
+            engine_args = pickle.dumps(
+                {
+                    "spec_payload": spec_payload,
+                    "checkpoint": str(checkpoint),
+                    "config": config,
+                }
+            )
+            return MpTransport(
+                shard_id,
+                engine_args,
+                inbox_capacity=inbox_capacity,
+                start_timeout=start_timeout,
+            )
+        checkpoint_str = None if checkpoint is None else str(checkpoint)
+
+        def engine_factory() -> ShardEngine:
+            return ShardEngine.build(
+                spec_payload,
+                config=config,
+                checkpoint=checkpoint_str,
+                classifier_factory=classifier_factory,
+            )
+
+        if kind == "thread":
+            return ThreadTransport(
+                shard_id, engine_factory, inbox_capacity=inbox_capacity
+            )
+        return InlineTransport(shard_id, engine_factory)
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -127,15 +213,12 @@ class ClusterRouter:
     def from_checkpoint(
         cls, path, graph: HeteroGraph, num_shards: int, **kwargs
     ) -> "ClusterRouter":
-        """One classifier per shard, each loaded from the same checkpoint."""
-        from repro.core.classifier import WidenClassifier
+        """One server per shard, each rebuilt from the same checkpoint.
 
-        return cls(
-            lambda shard_graph: WidenClassifier.load(path, graph=shard_graph),
-            graph,
-            num_shards,
-            **kwargs,
-        )
+        This is the only construction path the ``mp`` transport supports:
+        the checkpoint is what crosses the process boundary.
+        """
+        return cls(None, graph, num_shards, checkpoint=str(path), **kwargs)
 
     @classmethod
     def from_classifier(
@@ -145,7 +228,9 @@ class ClusterRouter:
 
         Saving once and loading per shard is the clean way to get fully
         independent instances (parameters copied, no shared trainer state)
-        without deep-copying live graph references.
+        without deep-copying live graph references — and it is exactly the
+        spawn path mp workers need.  The temp checkpoint is deleted as soon
+        as every shard has confirmed loading it.
         """
         if not hasattr(classifier, "save"):
             raise ValueError(
@@ -178,25 +263,20 @@ class ClusterRouter:
             self._count_routed(shard, int(node))
             groups.setdefault(shard, []).append(position)
         self._maybe_flush_prometheus()
+        # Scatter: one serve envelope per shard for its whole group, all
+        # issued before any gather — shards overlap on concurrent
+        # transports.  Gather: per-shard timeout, order-preserving stitch.
+        pending: List[Tuple[List[int], object]] = []
+        for shard, positions in groups.items():
+            reply = self.workers[shard].submit_serve(
+                nodes[positions], kind, now=now
+            )
+            pending.append((positions, reply))
         results: List[Optional[object]] = [None] * nodes.size
-        if self.mode == "thread":
-            # Fan out first so shards compute concurrently, gather after.
-            futures = []
-            for shard, positions in groups.items():
-                worker = self.workers[shard]
-                for position in positions:
-                    futures.append(
-                        (position, worker.request(int(nodes[position]), kind, now=now))
-                    )
-            for position, future in futures:
-                results[position] = future.result()
-        else:
-            for shard, positions in groups.items():
-                values = self.workers[shard].serve_batch(
-                    nodes[positions], kind, now=now
-                )
-                for position, value in zip(positions, values):
-                    results[position] = value
+        for positions, reply in pending:
+            values = _unwrap_serve(reply, self.request_timeout)
+            for position, value in zip(positions, values):
+                results[position] = value
         if kind == "embed":
             return np.stack(results)
         return np.asarray(results)
@@ -238,23 +318,21 @@ class ClusterRouter:
         if features is not None:
             features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         owner = self.plan.place_new_nodes(new_ids.size)
-        appliers = self.plan.add_nodes_callables(
+        commands = self.plan.add_nodes_commands(
             owner, new_ids, type_name, features, labels, new_ids.size
         )
-        self._barrier(
-            [(shard, fn) for shard, fn in enumerate(appliers)], kind="add_nodes"
-        )
+        self._fanout_mutations(list(enumerate(commands)), kind="add_nodes")
         return new_ids
 
     def add_edges(self, edge_type: str, src, dst, symmetric: bool = True) -> None:
         """Streaming edge arrival, propagated to *affected* shards only.
 
-        The edges land on the global graph first; each shard's materialized
-        edge set is then recomputed, and shards whose closure did not move
-        are skipped outright — no event, no invalidation, caches fully warm.
-        Affected shards apply the repair as one ``replace_edges`` barrier
-        carrying the global changed-sources, so their servers invalidate
-        exactly the frontier a whole-graph server would.
+        The edges land on the global graph first; the plan diffs each
+        shard's materialized edge set against it, and shards whose closure
+        did not move are skipped outright — no envelope, no event, caches
+        fully warm.  Affected shards replay one serializable refresh
+        command carrying the global changed-sources, so their servers
+        invalidate exactly the frontier a whole-graph server would.
         """
         self._check_open()
         self.graph.add_edges(edge_type, src, dst, symmetric=symmetric)
@@ -264,18 +342,18 @@ class ClusterRouter:
         )
         jobs = []
         for spec in self.plan.shards:
-            applier = self.plan.refresh_shard(spec, changed_sources)
-            if applier is not None:
-                jobs.append((spec.shard_id, applier))
-        self._barrier(jobs, kind="add_edges")
+            command = self.plan.refresh_command(spec, changed_sources)
+            if command is not None:
+                jobs.append((spec.shard_id, command))
+        self._fanout_mutations(jobs, kind="add_edges")
 
-    def _barrier(self, jobs, *, kind: str) -> None:
-        """Run per-shard appliers through their workers; wait for all."""
-        futures = [
-            (shard, self.workers[shard].run_task(fn)) for shard, fn in jobs
+    def _fanout_mutations(self, jobs, *, kind: str) -> None:
+        """Ship per-shard commands, then gather every barrier ack."""
+        pending = [
+            (shard, self.workers[shard].mutate(command)) for shard, command in jobs
         ]
-        for shard, future in futures:
-            future.result()
+        for shard, reply in pending:
+            reply.result(self.request_timeout)
             self.registry.counter(
                 "cluster_mutations_total", kind=kind, shard=str(shard)
             ).inc()
@@ -284,71 +362,92 @@ class ClusterRouter:
     # Deterministic trace replay (benchmarks)
     # ------------------------------------------------------------------
 
-    def replay(self, trace: Sequence) -> Dict[str, object]:
-        """Replay a logical-clock trace through the cluster; sync mode only.
+    def replay(self, trace: Sequence, *, overlap: bool = True) -> Dict[str, object]:
+        """Replay a logical-clock trace through the cluster.
 
         Events route to their owner shard with the trace's logical arrival
         times (the same convention as :func:`repro.serve.loadgen.replay`),
-        every shard drains at end-of-stream, and the cluster summary uses
-        the union of per-shard records — throughput over the cluster-wide
-        logical span, so shard parallelism shows up as span compression,
-        not wishful addition.
+        each shard processes its slice *atomically inside one replay
+        envelope* — batch composition is driven by trace times alone, so
+        the replay is deterministic on every transport, while the shards
+        themselves still run concurrently on ``thread`` and ``mp``.  The
+        cluster summary uses the union of per-shard records — throughput
+        over the cluster-wide logical span, so shard parallelism shows up
+        as span compression, not wishful addition.
+
+        ``overlap=False`` gathers each shard's replay before dispatching
+        the next.  Batch composition and results are identical either way
+        (the logical clock decides those); what changes is measurement
+        hygiene: on a machine with fewer cores than shards, overlapped
+        engines time-slice the CPU and each one's *measured* compute time
+        absorbs its neighbours' preemption, corrupting the very busy-time
+        the logical span is built from.  Benchmarks that report span
+        compression should replay without overlap.
         """
         self._check_open()
-        if self.mode != "sync":
-            raise RuntimeError(
-                "replay() needs mode='sync': logical-clock arrivals are "
-                "deterministic only when the caller drives every shard "
-                "itself (thread scheduling would perturb batch composition)"
-            )
         self.reset_telemetry()
-        pending: Dict[int, List[int]] = {}
+        nodes_by_shard: Dict[int, List[int]] = {}
+        times_by_shard: Dict[int, List[float]] = {}
         for event in trace:
             node = int(event.node)
             shard = self.plan.owner(node)
             self._count_routed(shard, node)
-            server = self.workers[shard].server
-            pending.setdefault(shard, []).append(
-                server.submit(node, now=float(event.time))
-            )
+            nodes_by_shard.setdefault(shard, []).append(node)
+            times_by_shard.setdefault(shard, []).append(float(event.time))
         end = float(trace[-1].time) if len(trace) else None
-        for shard, ids in pending.items():
-            server = self.workers[shard].server
-            server.drain(end)
-            for request_id in ids:
-                server.result(request_id)
+
+        def _dispatch(shard: int):
+            return self.workers[shard].replay(
+                np.asarray(nodes_by_shard[shard], dtype=np.int64),
+                np.asarray(times_by_shard[shard], dtype=np.float64),
+                end,
+            )
+
+        if overlap:
+            pending = [_dispatch(shard) for shard in nodes_by_shard]
+            for reply in pending:
+                reply.result(self.request_timeout)
+        else:
+            for shard in nodes_by_shard:
+                _dispatch(shard).result(self.request_timeout)
         return self.summary()
 
     def reset_telemetry(self) -> None:
         """Clear per-shard reductions and clocks (between replay passes)."""
-        for worker in self.workers:
-            worker.server.telemetry.reset()
-            worker.server.reset_clock()
-            worker.requests_routed = 0
-            worker.halo_requests = 0
+        pending = [worker.reset() for worker in self.workers]
+        for reply in pending:
+            reply.result(self.request_timeout)
 
     # ------------------------------------------------------------------
     # Telemetry aggregation
     # ------------------------------------------------------------------
 
+    def _pull_telemetry(self) -> List[dict]:
+        pending = [worker.pull_telemetry() for worker in self.workers]
+        return [reply.result(self.request_timeout) for reply in pending]
+
     def summary(self) -> Dict[str, object]:
         """Cluster-level reductions plus one summary block per shard."""
-        records = []
-        for worker in self.workers:
-            records.extend(worker.server.telemetry.requests)
-        latencies = [record.latency for record in records]
-        if records:
-            span = max(r.completion for r in records) - min(
-                r.arrival for r in records
-            )
-        else:
-            span = 0.0
+        payloads = self._pull_telemetry()
+        latencies: List[float] = []
+        arrivals: List[float] = []
+        completions: List[float] = []
+        for payload in payloads:
+            requests = payload["telemetry"]["requests"]
+            arrival = np.asarray(requests["arrival"], dtype=np.float64)
+            completion = np.asarray(requests["completion"], dtype=np.float64)
+            latencies.extend((completion - arrival).tolist())
+            if arrival.size:
+                arrivals.append(float(arrival.min()))
+                completions.append(float(completion.max()))
+        count = len(latencies)
+        span = (max(completions) - min(arrivals)) if arrivals else 0.0
         return {
             "num_shards": self.plan.num_shards,
-            "mode": self.mode,
-            "requests": len(records),
+            "transport": self.transport_kind,
+            "requests": count,
             "throughput_rps": (
-                len(records) / span if span > 0 else float("inf") if records else 0.0
+                count / span if span > 0 else float("inf") if count else 0.0
             ),
             "latency_p50_s": nearest_rank_percentile(latencies, 50),
             "latency_p95_s": nearest_rank_percentile(latencies, 95),
@@ -356,33 +455,31 @@ class ClusterRouter:
             "halo_requests": sum(w.halo_requests for w in self.workers),
             "edge_cut": self.plan.partition_edge_cut,
             "replication_factor": self.plan.replication_factor(),
-            "shards": [worker.summary() for worker in self.workers],
+            "shards": [
+                worker.summary(payload)
+                for worker, payload in zip(self.workers, payloads)
+            ],
         }
 
     def merged_registry(self) -> MetricsRegistry:
-        """Every shard's private registry + router series, shard-labeled."""
-        merged = MetricsRegistry()
-        for instrument in self.registry.series():
-            self._copy_instrument(merged, instrument, {})
-        for worker in self.workers:
-            extra = {"shard": str(worker.spec.shard_id)}
-            for instrument in worker.server.telemetry.registry.series():
-                self._copy_instrument(merged, instrument, extra)
-        return merged
+        """Every shard's registry snapshot + router series, shard-labeled.
 
-    @staticmethod
-    def _copy_instrument(
-        merged: MetricsRegistry, instrument, extra: Dict[str, str]
-    ) -> None:
-        labels = {**instrument.labels, **extra}
-        if isinstance(instrument, Counter):
-            merged.counter(instrument.name, **labels).inc(instrument.value)
-        elif isinstance(instrument, Gauge):
-            merged.gauge(instrument.name, **labels).set(instrument.value)
-        elif isinstance(instrument, Histogram):
-            merged.histogram(instrument.name, **labels).observe_many(
-                instrument._values
+        Registries cross the shard boundary as serialized payloads
+        (:meth:`MetricsRegistry.to_payload`), so the merge is identical
+        whether the shards share this process or run in their own.
+        """
+        merged = MetricsRegistry()
+        merged.merge_payload(self.registry.to_payload())
+        pending = [
+            (worker.spec.shard_id, worker.pull_metrics())
+            for worker in self.workers
+        ]
+        for shard_id, reply in pending:
+            payload = reply.result(self.request_timeout)
+            merged.merge_payload(
+                payload["registry"], extra_labels={"shard": str(shard_id)}
             )
+        return merged
 
     def render_prometheus(self) -> str:
         """One Prometheus exposition for the whole cluster."""
@@ -408,7 +505,7 @@ class ClusterRouter:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker (drains inboxes) and detach the servers."""
+        """Stop every transport (drains outstanding envelopes first)."""
         if self._closed:
             return
         for worker in self.workers:
@@ -424,3 +521,16 @@ class ClusterRouter:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("cluster router is closed")
+
+
+def _unwrap_serve(reply, timeout: Optional[float]) -> List[object]:
+    """Gather one serve reply; re-raise the first per-item error."""
+    from repro.cluster.transport import ShardError
+
+    payload = reply.result(timeout)
+    values = []
+    for item in payload["items"]:
+        if not item["ok"]:
+            raise ShardError(reply.shard_id, item["error"])
+        values.append(item["value"])
+    return values

@@ -1,82 +1,61 @@
-"""One shard = one :class:`InferenceServer` behind a bounded inbox.
+"""The protocol side of one shard: typed envelopes over a transport.
 
-A :class:`ShardWorker` is the concurrency unit of the cluster: it owns a
-shard's graph, classifier and server outright, and everything that touches
-them — requests, streaming mutations, telemetry snapshots — flows through
-one FIFO inbox consumed by one thread.  Single-writer ownership is what
-makes the sharded tier safe without any locking inside the serving stack:
-the server, cache and graph are only ever touched from the worker's thread
-(or from the caller's thread in ``sync`` mode, where no thread exists).
+Since the transport refactor, :class:`ShardWorker` no longer owns a server
+— the :class:`~repro.cluster.engine.ShardEngine` behind the transport
+does.  The worker is the router's *client stub*: it keeps the router-side
+mirror of the shard's :class:`~repro.cluster.planner.ShardSpec` (routing
+masks, ownership counts), wraps each interaction in a typed
+:class:`~repro.cluster.transport.Envelope`, and returns
+:class:`~repro.cluster.transport.PendingReply` handles so the router can
+issue a whole scatter before gathering anything.
 
-The inbox is **bounded** (``queue.Queue(maxsize=...)``), so a hot shard
-exerts backpressure on the router instead of buffering unboundedly — the
-router's enqueue blocks until the worker drains.  The worker drains
-greedily: it blocks for the first item, then scoops everything else already
-queued and processes the burst through the server's micro-batcher in one
-submit-all-then-drain pass, so concurrent arrivals coalesce into real
-batches instead of degenerating into singletons.
-
-Mutations ride the same inbox as plain callables with a result future, so
-they act as **barriers**: every request enqueued before the mutation is
-answered from pre-mutation state, everything after sees post-mutation
-state, with no torn interleavings.
+Ordering is inherited from the transport's FIFO contract: one shard, one
+envelope stream, processed one at a time.  A ``mutate`` envelope is a
+barrier between the ``serve`` envelopes around it — the same guarantee the
+old inbox gave, now independent of whether the far side is the caller's
+thread, a worker thread, or another process.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.cluster.planner import ShardSpec
-from repro.serve.server import InferenceServer
+from repro.cluster.planner import MutationCommand, ShardSpec
+from repro.cluster.transport import (
+    Envelope,
+    PendingReply,
+    ShardError,
+    Transport,
+)
 
 
-@dataclass
-class _WorkItem:
-    """One inbox entry: a request, a barrier task, or the stop sentinel."""
+class _ItemReply(PendingReply):
+    """A single request's slice of a batched serve reply."""
 
-    kind: str  # "request" | "task" | "stop"
-    future: Optional[Future] = None
-    node: int = -1
-    request_kind: str = "classify"
-    now: Optional[float] = None
-    fn: Optional[Callable[[], object]] = None
+    def __init__(self, batch: PendingReply, position: int) -> None:
+        super().__init__(batch.shard_id, batch.kind)
+        self._batch = batch
+        self._position = position
+
+    def wait(self, timeout: Optional[float] = None):
+        return self._batch.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        payload = self._batch.result(timeout)
+        item = payload["items"][self._position]
+        if not item["ok"]:
+            raise ShardError(self.shard_id, item["error"])
+        return item["value"]
 
 
 class ShardWorker:
-    """Owns one shard's server; serializes all access through its inbox.
+    """Client stub for one shard engine, reachable only through envelopes."""
 
-    ``mode="thread"`` runs a consumer thread (call :meth:`start`);
-    ``mode="sync"`` executes inline on the caller's thread — the
-    deterministic path used by replay benchmarks and equivalence tests,
-    where logical clocks drive arrivals and thread scheduling must not
-    perturb batch composition.
-    """
-
-    def __init__(
-        self,
-        spec: ShardSpec,
-        server: InferenceServer,
-        *,
-        mode: str = "thread",
-        inbox_capacity: int = 256,
-        poll_interval: float = 0.005,
-    ) -> None:
-        if mode not in ("thread", "sync"):
-            raise ValueError(f"unknown worker mode {mode!r}")
-        if inbox_capacity < 1:
-            raise ValueError(f"inbox_capacity must be >= 1, got {inbox_capacity}")
+    def __init__(self, spec: ShardSpec, transport: Transport) -> None:
         self.spec = spec
-        self.server = server
-        self.mode = mode
-        self.inbox: "queue.Queue[_WorkItem]" = queue.Queue(maxsize=inbox_capacity)
-        self._poll_interval = float(poll_interval)
-        self._thread: Optional[threading.Thread] = None
+        self.transport = transport
         self._stopped = False
         # Router-visible accounting (written from the routing thread only).
         self.requests_routed = 0
@@ -87,164 +66,89 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def start(self) -> "ShardWorker":
-        if self.mode != "thread":
-            return self
-        if self._thread is not None:
-            raise RuntimeError(f"shard {self.spec.shard_id} already started")
-        self._thread = threading.Thread(
-            target=self._run, name=f"shard-{self.spec.shard_id}", daemon=True
-        )
-        self._thread.start()
+        self.transport.start()
         return self
 
+    def wait_ready(self, timeout: Optional[float] = None) -> None:
+        self.transport.wait_ready(timeout)
+
     def stop(self) -> None:
-        """Drain outstanding work, stop the thread, detach the server."""
-        if self._thread is not None and not self._stopped:
-            done: Future = Future()
-            self.inbox.put(_WorkItem(kind="stop", future=done))
-            done.result()
-            self._thread.join()
-            self._thread = None
-        self._stopped = True
-        self.server.close()
+        if not self._stopped:
+            self.transport.stop()
+            self._stopped = True
 
     # ------------------------------------------------------------------
-    # Producer side (router thread)
+    # Request path
     # ------------------------------------------------------------------
+
+    def submit_serve(
+        self, nodes, kind: str, now: Optional[float] = None
+    ) -> PendingReply:
+        """One serve envelope for a group of nodes; gather later.
+
+        The whole group reaches the engine in one envelope, so the server's
+        micro-batcher sees it at once — concurrent scatter legs coalesce
+        into real batches instead of singletons.
+        """
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        return self.transport.send(
+            Envelope(kind="serve", payload={"nodes": nodes, "kind": kind, "now": now})
+        )
 
     def request(
         self, node: int, kind: str, now: Optional[float] = None
-    ) -> Future:
-        """Enqueue one request; the future resolves to the response value.
-
-        Blocks when the inbox is full (bounded-queue backpressure).  In
-        ``sync`` mode the request executes before this returns.
-        """
-        future: Future = Future()
-        item = _WorkItem(
-            kind="request", future=future, node=int(node),
-            request_kind=kind, now=now,
-        )
-        if self.mode == "sync":
-            self._serve_requests([item])
-        else:
-            self.inbox.put(item)
-        return future
-
-    def run_task(self, fn: Callable[[], object]) -> Future:
-        """Enqueue a barrier task (mutation applier, telemetry snapshot).
-
-        Everything enqueued before it completes first; everything after
-        observes its effects.
-        """
-        future: Future = Future()
-        item = _WorkItem(kind="task", future=future, fn=fn)
-        if self.mode == "sync":
-            self._run_task(item)
-        else:
-            self.inbox.put(item)
-        return future
+    ) -> PendingReply:
+        """Single-node convenience over :meth:`submit_serve`."""
+        batch = self.submit_serve(np.asarray([int(node)]), kind, now=now)
+        return _ItemReply(batch, 0)
 
     def serve_batch(
-        self, nodes, kind: str, now: Optional[float] = None
+        self, nodes, kind: str, now: Optional[float] = None, timeout: Optional[float] = None
     ) -> List[object]:
-        """Synchronous convenience: serve ``nodes`` in order, return values.
+        """Synchronous convenience: serve ``nodes`` in order, return values."""
+        payload = self.submit_serve(nodes, kind, now=now).result(timeout)
+        values = []
+        for item in payload["items"]:
+            if not item["ok"]:
+                raise ShardError(self.spec.shard_id, item["error"])
+            values.append(item["value"])
+        return values
 
-        In ``sync`` mode this is the scatter-gather leg the router uses
-        directly (one submit-all-then-drain pass, so the micro-batcher sees
-        the whole group); in ``thread`` mode it enqueues and waits (still
-        safe — the worker thread does the serving).
-        """
-        items = [
-            _WorkItem(
-                kind="request", future=Future(), node=int(node),
-                request_kind=kind, now=now,
+    # ------------------------------------------------------------------
+    # Barriers and pulls
+    # ------------------------------------------------------------------
+
+    def mutate(self, command: MutationCommand) -> PendingReply:
+        """Ship one planner command; FIFO order makes it a barrier."""
+        return self.transport.send(
+            Envelope(kind="mutate", payload={"command": command})
+        )
+
+    def replay(
+        self, nodes: np.ndarray, times: np.ndarray, end: Optional[float]
+    ) -> PendingReply:
+        """Ship this shard's slice of a logical-clock trace."""
+        return self.transport.send(
+            Envelope(
+                kind="replay",
+                payload={"nodes": nodes, "times": times, "end": end},
             )
-            for node in np.atleast_1d(nodes)
-        ]
-        if self.mode == "sync":
-            self._serve_requests(items)
-        else:
-            for item in items:
-                self.inbox.put(item)
-        return [item.future.result() for item in items]
+        )
 
-    # ------------------------------------------------------------------
-    # Consumer side (worker thread, or inline in sync mode)
-    # ------------------------------------------------------------------
+    def pull_telemetry(self) -> PendingReply:
+        return self.transport.send(Envelope(kind="telemetry"))
 
-    def _run(self) -> None:
-        while True:
-            try:
-                first = self.inbox.get(timeout=self._poll_interval)
-            except queue.Empty:
-                continue
-            burst = [first]
-            while True:
-                try:
-                    burst.append(self.inbox.get_nowait())
-                except queue.Empty:
-                    break
-            if self._process_burst(burst):
-                return
+    def pull_metrics(self) -> PendingReply:
+        return self.transport.send(Envelope(kind="metrics"))
 
-    def _process_burst(self, burst: List[_WorkItem]) -> bool:
-        """Run one scooped burst in FIFO order; True when stopped.
+    def pull_serving_state(self) -> PendingReply:
+        return self.transport.send(Envelope(kind="serving_state"))
 
-        Contiguous runs of requests go through the server together
-        (submit-all then drain — the micro-batcher coalesces them);
-        tasks and the stop sentinel act as barriers between runs.
-        """
-        pending: List[_WorkItem] = []
-        for item in burst:
-            if item.kind == "request":
-                pending.append(item)
-                continue
-            if pending:
-                self._serve_requests(pending)
-                pending = []
-            if item.kind == "task":
-                self._run_task(item)
-            elif item.kind == "stop":
-                item.future.set_result(None)
-                return True
-        if pending:
-            self._serve_requests(pending)
-        return False
-
-    def _serve_requests(self, items: List[_WorkItem]) -> None:
-        ids: List[Optional[int]] = []
-        for item in items:
-            try:
-                ids.append(
-                    self.server.submit(
-                        item.node, kind=item.request_kind, now=item.now
-                    )
-                )
-            except Exception as error:  # bad node id etc. — fail that future
-                item.future.set_exception(error)
-                ids.append(None)
-        try:
-            self.server.drain()
-        except Exception as error:
-            for item, request_id in zip(items, ids):
-                if request_id is not None:
-                    item.future.set_exception(error)
-            return
-        for item, request_id in zip(items, ids):
-            if request_id is None:
-                continue
-            try:
-                item.future.set_result(self.server.result(request_id).value)
-            except Exception as error:
-                item.future.set_exception(error)
-
-    @staticmethod
-    def _run_task(item: _WorkItem) -> None:
-        try:
-            item.future.set_result(item.fn())
-        except Exception as error:
-            item.future.set_exception(error)
+    def reset(self) -> PendingReply:
+        pending = self.transport.send(Envelope(kind="reset"))
+        self.requests_routed = 0
+        self.halo_requests = 0
+        return pending
 
     # ------------------------------------------------------------------
     # Introspection
@@ -252,10 +156,11 @@ class ShardWorker:
 
     @property
     def inbox_depth(self) -> int:
-        return self.inbox.qsize()
+        return int(getattr(self.transport, "inbox_depth", 0))
 
-    def summary(self) -> dict:
-        stats = dict(self.server.telemetry.summary())
+    def summary(self, telemetry_payload: dict) -> dict:
+        """Shard summary row from a pulled telemetry payload."""
+        stats = dict(telemetry_payload["summary"])
         stats.update(
             shard=self.spec.shard_id,
             owned=self.spec.num_owned,
@@ -263,6 +168,6 @@ class ShardWorker:
             requests_routed=self.requests_routed,
             halo_requests=self.halo_requests,
             inbox_depth=self.inbox_depth,
-            cache_size=len(self.server.cache),
+            cache_size=telemetry_payload["cache_size"],
         )
         return stats

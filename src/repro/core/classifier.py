@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import pickle
 from typing import Optional
 
 import numpy as np
@@ -32,9 +33,16 @@ from repro.tensor import no_grad
 from repro.utils.rng import SeedLike, new_rng, spawn_rngs
 
 CHECKPOINT_KEY = "__checkpoint__"
-# v2 adds the trainer's rng stream snapshot ("trainer_rng"); older readers
-# ignore the extra key and v1 checkpoints simply restore without it.
-CHECKPOINT_FORMAT_VERSION = 2
+TRAINER_STATE_KEY = "__trainer_state__"
+# Array keys that are checkpoint plumbing, not model parameters.
+RESERVED_KEYS = frozenset({CHECKPOINT_KEY, TRAINER_STATE_KEY})
+# v2 added the trainer's rng stream snapshot ("trainer_rng"); v3 adds the
+# training-progress blob (optimizer moments + step count, epoch counter,
+# neighbor-store states, node-state table) so training resumes *exactly*.
+# Readers accept any version <= current (each addition is optional on
+# read) and refuse newer ones; ``migrate_checkpoint`` rewrites old files
+# in the current layout.
+CHECKPOINT_FORMAT_VERSION = 3
 
 
 class WidenClassifier(BaseClassifier):
@@ -68,8 +76,10 @@ class WidenClassifier(BaseClassifier):
         self.model: Optional[WidenModel] = None
         self.trainer: Optional[WidenTrainer] = None
         self._schema: Optional[dict] = None
-        # Rng snapshot restored from a checkpoint, applied by the next bind().
+        # Checkpoint snapshots applied by the next bind(): rng streams (v2)
+        # and training progress (v3).
         self._pending_rng_state: Optional[dict] = None
+        self._pending_training_state: Optional[dict] = None
 
     def _build(self, graph: HeteroGraph) -> None:
         self._schema = self._graph_schema(graph)
@@ -235,6 +245,9 @@ class WidenClassifier(BaseClassifier):
         if self._pending_rng_state is not None:
             self.trainer.load_rng_state(self._pending_rng_state)
             self._pending_rng_state = None
+        if self._pending_training_state is not None:
+            self.trainer.load_training_state(self._pending_training_state)
+            self._pending_training_state = None
         return self
 
     def save(self, path) -> None:
@@ -253,11 +266,22 @@ class WidenClassifier(BaseClassifier):
             "seed": self._seed,
             "schema": self._schema,
         }
+        arrays = dict(self.model.state_dict())
         if self.trainer is not None:
             # Rng streams (shuffle, downsampling, sampling, dropout) so a
             # restored run repeats the stochastic decisions of this one.
             meta["trainer_rng"] = self.trainer.rng_state()
-        np.savez(path, **{CHECKPOINT_KEY: json.dumps(meta)}, **self.model.state_dict())
+            # Training progress (v3): optimizer moments + step count, epoch
+            # counter, neighbor-store states, node-state table.  Stored as a
+            # pickle blob in a uint8 array so ``np.load`` needs no
+            # ``allow_pickle`` for the parameter arrays around it.  With the
+            # rng streams above this makes resumed training bit-identical —
+            # ``fit(n); save; load; fit(m)`` equals ``fit(n + m)``.
+            blob = pickle.dumps(
+                self.trainer.training_state(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            arrays[TRAINER_STATE_KEY] = np.frombuffer(blob, dtype=np.uint8)
+        np.savez(path, **{CHECKPOINT_KEY: json.dumps(meta)}, **arrays)
 
     @staticmethod
     def read_checkpoint_metadata(path) -> dict:
@@ -286,6 +310,13 @@ class WidenClassifier(BaseClassifier):
                 f"checkpoint {path!r} holds a {meta.get('class')!r} model, "
                 f"not {cls.name!r}"
             )
+        version = int(meta.get("format_version", 1))
+        if version > CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint {path!r} is format v{version}, newer than this "
+                f"code's v{CHECKPOINT_FORMAT_VERSION}; upgrade the code (old "
+                "readers cannot know what a newer format added)"
+            )
         classifier = cls(
             config=WidenConfig(**meta["config"]), seed=meta.get("seed")
         )
@@ -301,8 +332,47 @@ class WidenClassifier(BaseClassifier):
         )
         with np.load(path) as archive:
             classifier.model.load_state_dict(
-                {name: archive[name] for name in archive.files if name != CHECKPOINT_KEY}
+                {
+                    name: archive[name]
+                    for name in archive.files
+                    if name not in RESERVED_KEYS
+                }
             )
+            if TRAINER_STATE_KEY in archive.files:
+                classifier._pending_training_state = pickle.loads(
+                    archive[TRAINER_STATE_KEY].tobytes()
+                )
         if graph is not None:
             classifier.bind(graph)
         return classifier
+
+
+def migrate_checkpoint(path, out_path=None) -> dict:
+    """Rewrite a v1/v2 checkpoint in the current (v3) layout.
+
+    Old checkpoints never carried optimizer moments or trainer progress, so
+    the migration cannot invent them: the rewritten file is a valid v3
+    checkpoint whose optional training-progress blob is simply absent (a
+    resumed ``fit`` starts with fresh moments, exactly as loading the old
+    file did).  What migration buys is *uniformity* — every file on disk
+    reads through one code path, and future readers can drop the v1/v2
+    branches.  Returns the rewritten metadata.  ``out_path=None`` migrates
+    in place; an already-current file is rewritten unchanged (idempotent).
+    """
+    meta = WidenClassifier.read_checkpoint_metadata(path)
+    version = int(meta.get("format_version", 1))
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} is format v{version}, newer than this "
+            f"code's v{CHECKPOINT_FORMAT_VERSION}; nothing to migrate"
+        )
+    with np.load(path) as archive:
+        arrays = {
+            name: archive[name]
+            for name in archive.files
+            if name != CHECKPOINT_KEY
+        }
+    meta["format_version"] = CHECKPOINT_FORMAT_VERSION
+    meta.setdefault("migrated_from_version", version)
+    np.savez(out_path or path, **{CHECKPOINT_KEY: json.dumps(meta)}, **arrays)
+    return meta

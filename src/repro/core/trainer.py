@@ -460,6 +460,50 @@ class WidenTrainer:
         self.model.hidden_dropout.load_rng_state(state["hidden_dropout"])
 
     # ------------------------------------------------------------------
+    # Training-progress persistence (checkpoint format v3)
+    # ------------------------------------------------------------------
+
+    def training_state(self) -> dict:
+        """Everything beyond parameters + rng that exact resume needs.
+
+        Optimizer moments/step count drive the next update's magnitude; the
+        epoch counter gates the KL trigger and state-refresh schedules; the
+        neighbor store's cached (and possibly downsampled) per-node sets
+        plus the refined node-state table are the training-time state the
+        next epoch reads.  Together with :meth:`rng_state` this makes
+        ``fit(n); save; load; fit(m)`` bit-identical to ``fit(n + m)`` on
+        the same graph.
+        """
+        return {
+            "epoch": int(self._epoch),
+            "optimizer": self.optimizer.state_dict(),
+            "store_states": dict(self.store._states),
+            "node_state": (
+                None if self.node_state is None else self.node_state.copy()
+            ),
+        }
+
+    def load_training_state(self, state: dict) -> None:
+        """Restore a :meth:`training_state` snapshot.
+
+        Only valid against a graph equivalent to the one the snapshot was
+        taken on — neighbor sets reference node ids and the node-state
+        table is indexed by them.  The serving path is unaffected either
+        way (it always samples fresh stores).
+        """
+        self._epoch = int(state["epoch"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.store._states = dict(state["store_states"])
+        node_state = state.get("node_state")
+        if node_state is not None:
+            if self.node_state is None or self.node_state.shape != node_state.shape:
+                raise ValueError(
+                    "checkpoint carries a node-state table that does not "
+                    "match this trainer's (embedding_mode/graph mismatch)"
+                )
+            np.copyto(self.node_state, node_state)
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
 

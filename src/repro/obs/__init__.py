@@ -15,8 +15,14 @@ One pipeline for everything the efficiency claims rest on:
   near-zero overhead while disabled.
 - :class:`Timer` / :func:`time_call` — the wall-clock helpers formerly in
   ``repro.utils.timing`` (that module remains as a deprecation alias).
+- :class:`MetricsHTTPServer` — a stdlib ``/metrics`` HTTP endpoint serving
+  any Prometheus render callable (single server or merged cluster view)
+  for scrape-based collection; registries also serialize
+  (``to_payload``/``merge_payload``) so per-process instances aggregate
+  across the cluster's shard boundary.
 """
 
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,6 +37,8 @@ from repro.obs.timing import Timer, time_call
 from repro.obs.tracing import SpanRecord, Tracer, get_tracer, set_tracer, span
 
 __all__ = [
+    "MetricsHTTPServer",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",

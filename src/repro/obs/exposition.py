@@ -1,0 +1,94 @@
+"""A real ``/metrics`` HTTP endpoint over the Prometheus text exposition.
+
+:class:`MetricsHTTPServer` wraps a *render callable* — anything returning
+the exposition text (``MetricsRegistry.render_prometheus``,
+``ClusterRouter.render_prometheus``, a closure over either) — in a stdlib
+``ThreadingHTTPServer`` on a daemon thread.  The exposition is rendered
+fresh per scrape, so a Prometheus scraper pointed at
+``http://host:port/metrics`` always sees current counters without any
+flush scheduling; the existing textfile-collector path
+(``write_prometheus``) remains for push-style setups.
+
+Scope on purpose: GET ``/metrics`` (and ``/``, for browsers) returns 200
+with ``text/plain; version=0.0.4``; everything else is 404.  No TLS, no
+auth — this binds loopback by default and is an observability surface, not
+an API.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serve a Prometheus exposition from ``/metrics`` on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`) —
+    the form tests use.  The server starts listening inside ``__init__``;
+    call :meth:`close` (or use as a context manager) to release the socket.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "only /metrics lives here")
+                    return
+                try:
+                    body = outer._render().encode("utf-8")
+                except Exception as exc:  # a broken renderer must not kill the thread
+                    self.send_error(500, f"render failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes are not stdout events
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"metrics-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

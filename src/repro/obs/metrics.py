@@ -307,6 +307,71 @@ class MetricsRegistry:
             if e["name"] == name and e.get("labels") == want
         ]
 
+    # -- message-boundary serialization ---------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Lossless, picklable snapshot of every series and event.
+
+        Unlike :meth:`snapshot` (which reduces histograms to summary
+        stats), the payload keeps **raw histogram observations**, so a
+        merged registry computes quantiles over the union of shards'
+        observations — the same numbers one shared registry would have
+        produced.  This is how per-process registries in the cluster's mp
+        workers aggregate into one shard-labeled Prometheus exposition.
+        """
+        with self._lock:
+            instruments = list(self._series.values())
+            events = [dict(event) for event in self.events]
+        series = []
+        for instrument in instruments:
+            entry: Dict[str, object] = {
+                "name": instrument.name,
+                "labels": dict(instrument.labels),
+            }
+            if isinstance(instrument, Counter):
+                entry["kind"] = "counter"
+                entry["value"] = instrument.value
+            elif isinstance(instrument, Gauge):
+                entry["kind"] = "gauge"
+                entry["value"] = instrument.value
+            else:
+                entry["kind"] = "histogram"
+                entry["values"] = list(instrument._values)
+            series.append(entry)
+        return {"series": series, "events": events}
+
+    def merge_payload(
+        self,
+        payload: Dict[str, object],
+        extra_labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`to_payload` snapshot into this registry.
+
+        ``extra_labels`` (e.g. ``{"shard": "2"}``) are appended to every
+        merged series and event, which is how identically named series from
+        different shards stay distinct in one exposition.  Counters add,
+        gauges take the incoming value, histograms extend with the raw
+        observations.
+        """
+        extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for entry in payload["series"]:
+            labels = {**entry["labels"], **extra}
+            if entry["kind"] == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif entry["kind"] == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif entry["kind"] == "histogram":
+                self.histogram(entry["name"], **labels).observe_many(
+                    entry["values"]
+                )
+            else:
+                raise ValueError(f"unknown series kind {entry['kind']!r}")
+        for event in payload["events"]:
+            labels = {**event.get("labels", {}), **extra}
+            self.emit(
+                event["name"], event["value"], step=event.get("step"), **labels
+            )
+
     # -- export ---------------------------------------------------------
 
     def snapshot(self) -> List[Dict[str, object]]:

@@ -32,6 +32,46 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- persistence (checkpoint format v3) -----------------------------
+    #
+    # Slot arrays are keyed by *position* in the parameter list, which is
+    # deterministic (module registration order); the loader checks shapes
+    # so a checkpoint from a different architecture fails loudly.
+
+    def state_dict(self) -> dict:
+        """Serializable internal state; base optimizers are stateless."""
+        return {"kind": type(self).__name__.lower(), "slots": {}, "step_count": 0}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._load_slots(state.get("slots", {}))
+        self._load_scalars(state)
+
+    def _load_scalars(self, state: dict) -> None:
+        pass
+
+    def _slot_names(self) -> tuple:
+        return ()
+
+    def _load_slots(self, slots: dict) -> None:
+        for name in self._slot_names():
+            arrays = slots.get(name)
+            if arrays is None:
+                continue
+            current = getattr(self, f"_{name}")
+            if len(arrays) != len(current):
+                raise ValueError(
+                    f"optimizer state has {len(arrays)} {name} slots for "
+                    f"{len(current)} parameters"
+                )
+            for target, incoming in zip(current, arrays):
+                incoming = np.asarray(incoming, dtype=target.dtype)
+                if incoming.shape != target.shape:
+                    raise ValueError(
+                        f"optimizer {name} slot shape {incoming.shape} does "
+                        f"not match parameter shape {target.shape}"
+                    )
+                np.copyto(target, incoming)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -60,6 +100,16 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "sgd",
+            "step_count": 0,
+            "slots": {"velocity": [v.copy() for v in self._velocity]},
+        }
+
+    def _slot_names(self) -> tuple:
+        return ("velocity",)
 
 
 class Adam(Optimizer):
@@ -96,6 +146,27 @@ class Adam(Optimizer):
             m2 *= self.beta2
             m2 += (1.0 - self.beta2) * grad**2
             param.data -= self.lr * (m1 / bias1) / (np.sqrt(m2 / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Moments and step count — what exact training resume needs.
+
+        The step count drives the bias-correction terms, so restoring the
+        moments without it would silently change every post-resume update.
+        """
+        return {
+            "kind": "adam",
+            "step_count": int(self._step_count),
+            "slots": {
+                "moment1": [m.copy() for m in self._moment1],
+                "moment2": [m.copy() for m in self._moment2],
+            },
+        }
+
+    def _slot_names(self) -> tuple:
+        return ("moment1", "moment2")
+
+    def _load_scalars(self, state: dict) -> None:
+        self._step_count = int(state.get("step_count", 0))
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -50,6 +50,27 @@ from repro.serve.cache import EmbeddingCache
 from repro.serve.telemetry import RequestRecord, Telemetry
 
 
+def load_checkpoint_classifier(path, graph: Optional[HeteroGraph] = None):
+    """Load a checkpoint into the class its metadata names.
+
+    The class is resolved through the serving registry's
+    ``CHECKPOINT_CLASSES`` map, so this is the generic spawn path —
+    a shard worker process rebuilds its classifier from exactly
+    (checkpoint path, serving graph) and nothing else.
+    """
+    from repro.core.classifier import WidenClassifier
+    from repro.serve.registry import CHECKPOINT_CLASSES
+
+    meta = WidenClassifier.read_checkpoint_metadata(path)
+    class_name = meta.get("class")
+    if class_name not in CHECKPOINT_CLASSES:
+        raise ValueError(
+            f"checkpoint {path} names unknown class {class_name!r}; "
+            f"known: {sorted(CHECKPOINT_CLASSES)}"
+        )
+    return CHECKPOINT_CLASSES[class_name].load(path, graph=graph)
+
+
 def serving_reach_of(classifier) -> Optional[int]:
     """The classifier's declared sampling reach (out-hops), or ``None``.
 
@@ -151,6 +172,54 @@ class InferenceServer:
         self._prometheus_interval = float(prometheus_interval)
         self._prometheus_last_flush = float("-inf")
         self._hook = graph.add_mutation_hook(self._on_graph_mutation)
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, graph: HeteroGraph, **kwargs
+    ) -> "InferenceServer":
+        """Build a server from exactly (checkpoint path, serving graph).
+
+        This is the spawn path of the cluster's ``mp`` transport: a worker
+        process receives a path and a serialized shard payload, never a
+        live classifier — construction is checkpoint-driven by design so
+        it works identically on either side of a process boundary.
+        """
+        return cls(load_checkpoint_classifier(path), graph, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Mutation/invalidation state across the pickle boundary
+    # ------------------------------------------------------------------
+
+    def export_serving_state(self) -> Dict[str, object]:
+        """The state that makes responses reproducible, as plain data.
+
+        ``(version_base, epoch, node_bumps)`` fully determine
+        :meth:`_version_of` — the rng-seed component and cache key of every
+        answer.  Two servers with equal parameters, equal graphs and equal
+        serving state are bit-identical, which is how the transport tests
+        compare an mp worker's invalidation state against an inline one's
+        without reaching into a foreign process.
+        """
+        return {
+            "version_base": int(self._version_base),
+            "epoch": int(self._epoch),
+            "node_bumps": {int(k): int(v) for k, v in self._node_bumps.items()},
+            "graph_version": int(self.graph.version),
+        }
+
+    def restore_serving_state(self, state: Dict[str, object]) -> None:
+        """Adopt exported mutation/invalidation counters (replayed server).
+
+        Cached embeddings are dropped: the cache is a performance artifact,
+        not part of the answer, and entries keyed by versions the restored
+        counters no longer produce must not resurface.
+        """
+        self._version_base = int(state["version_base"])
+        self._epoch = int(state["epoch"])
+        self._node_bumps = {
+            int(k): int(v) for k, v in dict(state["node_bumps"]).items()
+        }
+        self.cache.invalidate()
 
     # ------------------------------------------------------------------
     # Request lifecycle

@@ -141,6 +141,64 @@ class Telemetry:
         self.queue_depths.clear()
         self.invalidation_records.clear()
 
+    # -- message-boundary serialization ---------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-data snapshot for crossing a shard/process boundary.
+
+        Request records travel as parallel column lists (compact, picklable
+        without class baggage); the cluster router reduces straight over
+        the columns without rebuilding :class:`RequestRecord` objects.
+        The registry and attached cache stay behind — they have their own
+        serialized forms (``MetricsRegistry.to_payload``, cache size in the
+        engine's telemetry reply).
+        """
+        return {
+            "requests": {
+                "node": [r.node for r in self.requests],
+                "arrival": [r.arrival for r in self.requests],
+                "completion": [r.completion for r in self.requests],
+                "cache_hit": [r.cache_hit for r in self.requests],
+                "batch_size": [r.batch_size for r in self.requests],
+            },
+            "batch_sizes": list(self.batch_sizes),
+            "compute_batch_sizes": list(self.compute_batch_sizes),
+            "queue_depths": list(self.queue_depths),
+            "invalidation_records": [dict(r) for r in self.invalidation_records],
+            "max_batch_size": self.max_batch_size,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Telemetry":
+        """Rebuild a reducible :class:`Telemetry` from a snapshot payload."""
+        requests = payload["requests"]
+        telemetry = cls(max_batch_size=int(payload.get("max_batch_size", 1)))
+        telemetry.requests = [
+            RequestRecord(
+                node=int(node),
+                arrival=float(arrival),
+                completion=float(completion),
+                cache_hit=bool(cache_hit),
+                batch_size=int(batch_size),
+            )
+            for node, arrival, completion, cache_hit, batch_size in zip(
+                requests["node"],
+                requests["arrival"],
+                requests["completion"],
+                requests["cache_hit"],
+                requests["batch_size"],
+            )
+        ]
+        telemetry.batch_sizes = [int(v) for v in payload["batch_sizes"]]
+        telemetry.compute_batch_sizes = [
+            int(v) for v in payload["compute_batch_sizes"]
+        ]
+        telemetry.queue_depths = [int(v) for v in payload["queue_depths"]]
+        telemetry.invalidation_records = [
+            dict(r) for r in payload["invalidation_records"]
+        ]
+        return telemetry
+
     # -- reductions -----------------------------------------------------
 
     @property

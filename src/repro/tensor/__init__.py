@@ -17,6 +17,7 @@ push its output gradient back to the operation's inputs, and
 
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor.ops import get_scatter_thresholds, set_scatter_thresholds
+from repro.tensor.tuning import run_tuning
 from repro.tensor import ops
 from repro.tensor import functional
 
@@ -26,6 +27,7 @@ __all__ = [
     "is_grad_enabled",
     "get_scatter_thresholds",
     "set_scatter_thresholds",
+    "run_tuning",
     "ops",
     "functional",
 ]

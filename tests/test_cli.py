@@ -91,3 +91,67 @@ class TestCli:
     def test_unknown_dataset_raises(self):
         with pytest.raises(KeyError):
             main(["stats", "imaginary"])
+
+
+class TestTuneScatter:
+    def test_sweep_prints_env_lines_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "tuning.json"
+        assert main([
+            "tune-scatter", "--repeats", "3", "--tuning-out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "REPRO_SCATTER_SPARSE_MIN_ROWS" in printed
+        assert "REPRO_SCATTER_DENSE_MAX_CELLS" in printed
+        report = json.loads(out.read_text())
+        assert report["recommended"]["sparse_min_rows"] >= 0
+        assert report["recommended"]["dense_max_cells"] >= 0
+        assert len(report["sparse_sweep"]) > 0
+        assert len(report["dense_sweep"]) > 0
+
+    def test_recommend_requires_stable_crossover(self):
+        """One noisy bincount win below the real crossover must not drag
+        the threshold down; ufunc-sweeping machines disable vectorization."""
+        from repro.tensor.tuning import recommend
+
+        sparse = [
+            {"m": 4, "winner": "bincount"},   # noise
+            {"m": 8, "winner": "ufunc"},
+            {"m": 16, "winner": "bincount"},
+            {"m": 32, "winner": "bincount"},
+        ]
+        dense = [
+            {"cells": 1024, "winner": "dense"},
+            {"cells": 4096, "winner": "dense"},
+            {"cells": 16384, "winner": "bincount"},
+        ]
+        got = recommend(sparse, dense)
+        assert got["sparse_min_rows"] == 16
+        assert got["dense_max_cells"] == 4096
+
+        all_ufunc = [{"m": m, "winner": "ufunc"} for m in (4, 8, 16)]
+        got = recommend(all_ufunc, dense)
+        assert got["sparse_min_rows"] == 32  # beyond the swept range
+
+    def test_applying_recommendation_round_trips(self):
+        from repro.tensor import get_scatter_thresholds, set_scatter_thresholds
+        from repro.tensor.tuning import run_tuning
+
+        before = get_scatter_thresholds()
+        try:
+            report = run_tuning(dim=8, repeats=2, apply=True)
+            assert report["active_after"] == report["recommended"]
+            assert get_scatter_thresholds() == report["recommended"]
+        finally:
+            set_scatter_thresholds(**before)
+
+
+class TestServeClusterCli:
+    def test_smoke_with_transport_and_metrics_port(self, capsys):
+        assert main([
+            "serve-cluster", "acm", "--smoke", "--shards", "2",
+            "--transport", "thread", "--metrics-port", "0",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "thread transport" in printed
+        assert "metrics endpoint live at http://127.0.0.1:" in printed
+        assert "cluster, warm cache" in printed

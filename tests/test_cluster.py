@@ -13,7 +13,12 @@ and batch-size independent by construction, so any drift is a real bug.
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterPlan, ClusterRouter, ShardPlanner, ShardWorker
+from repro.cluster import (
+    ClusterPlan,
+    ClusterRouter,
+    ShardPlanner,
+    ThreadTransport,
+)
 from repro.core import WidenClassifier
 from repro.datasets import make_acm
 from repro.serve import InferenceServer, make_trace
@@ -298,12 +303,15 @@ class TestMutationFanOut:
                 [spec.owned[:3] for spec in specs] + [np.array(pair)]
             )
             router.embed(probe)
-            sizes_before = [len(w.server.cache) for w in router.workers]
+            # The inline transport exposes its engine, so the test can look
+            # straight at each shard's cache across the protocol boundary.
+            engines = [w.transport.engine for w in router.workers]
+            sizes_before = [len(e.server.cache) for e in engines]
             assert all(size > 0 for size in sizes_before)
             router.add_edges("paper-subject", [pair[0]], [pair[1]])
             dropped = [
-                sum(w.server.cache.node_invalidations.values())
-                for w in router.workers
+                sum(e.server.cache.node_invalidations.values())
+                for e in engines
             ]
             assert dropped[0] > 0  # the owning shard invalidated something
             for k in expect_untouched:
@@ -312,7 +320,7 @@ class TestMutationFanOut:
                     f"shard {k} invalidated {dropped[k]} entries for an "
                     "edge outside its closure"
                 )
-                assert len(router.workers[k].server.cache) == sizes_before[k]
+                assert len(engines[k].server.cache) == sizes_before[k]
 
     def test_new_node_id_space_stays_aligned(self, checkpoint):
         with fresh_router(checkpoint, 4) as router:
@@ -361,11 +369,16 @@ class TestClusterTelemetry:
             s["halo_requests"] for s in summary["shards"]
         )
 
-    def test_replay_requires_sync_mode(self, checkpoint, acm):
-        trace = make_trace(acm.split.test[:10], 5, rate=100.0, rng=1)
+    def test_replay_works_on_thread_transport(self, checkpoint, acm):
+        """Replay ships each shard's whole trace slice in one envelope, so
+        it is no longer restricted to the inline transport."""
+        trace = make_trace(acm.split.test[:20], 32, rate=5000.0, rng=1)
         with fresh_router(checkpoint, 2, mode="thread") as router:
-            with pytest.raises(RuntimeError, match="sync"):
-                router.replay(trace)
+            summary = router.replay(trace)
+        assert summary["requests"] == 32
+        assert summary["transport"] == "thread"
+        assert summary["throughput_rps"] > 0
+        assert sum(s["requests"] for s in summary["shards"]) == 32
 
     def test_prometheus_exposition_is_shard_labeled(self, checkpoint):
         with fresh_router(checkpoint, 2) as router:
@@ -404,14 +417,19 @@ class TestClusterTelemetry:
 
 
 class TestShardWorker:
-    def test_invalid_mode_and_capacity_rejected(self, checkpoint):
-        with fresh_router(checkpoint, 1) as router:
-            spec = router.workers[0].spec
-            server = router.workers[0].server
-            with pytest.raises(ValueError):
-                ShardWorker(spec, server, mode="fiber")
-            with pytest.raises(ValueError):
-                ShardWorker(spec, server, inbox_capacity=0)
+    def test_invalid_transport_and_capacity_rejected(self, checkpoint):
+        with pytest.raises(ValueError, match="unknown transport"):
+            fresh_router(checkpoint, 1, mode=None, transport="fiber")
+        with pytest.raises(ValueError, match="not both"):
+            fresh_router(checkpoint, 1, mode="sync", transport="inline")
+        with pytest.raises(ValueError, match="inbox_capacity"):
+            ThreadTransport(0, lambda: None, inbox_capacity=0)
+
+    def test_mp_transport_requires_checkpoint(self, acm):
+        with pytest.raises(ValueError, match="checkpoint"):
+            ClusterRouter(
+                lambda g: None, fresh_graph(), 1, transport="mp"
+            )
 
     def test_bad_node_fails_only_its_future(self, checkpoint):
         with fresh_router(checkpoint, 1, mode="thread") as router:
@@ -422,13 +440,14 @@ class TestShardWorker:
             with pytest.raises(Exception):
                 bad.result()
 
-    def test_barrier_task_orders_against_requests(self, checkpoint):
-        """A task enqueued between requests observes the first request's
-        effects and not the second's — FIFO barrier semantics."""
+    def test_pull_orders_against_requests(self, checkpoint):
+        """A telemetry pull enqueued after a serve envelope observes that
+        envelope's effects — the FIFO barrier the protocol guarantees."""
         with fresh_router(checkpoint, 1, mode="thread") as router:
             worker = router.workers[0]
-            worker.request(0, "embed").result()
-            depth = worker.run_task(
-                lambda: len(worker.server.cache)
-            ).result()
-            assert depth >= 1
+            pending = worker.submit_serve(np.arange(4), "embed")
+            # Issued strictly after the serve envelope; FIFO means the
+            # engine has already populated the cache when this runs.
+            telemetry = worker.pull_telemetry().result()
+            assert telemetry["cache_size"] >= 4
+            assert all(item["ok"] for item in pending.result()["items"])

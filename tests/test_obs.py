@@ -438,3 +438,122 @@ class TestPrometheusExposition:
         # No temp-file droppings left behind (atomic replace convention).
         leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".prom-")]
         assert leftovers == []
+
+
+class TestRegistryPayloads:
+    """Snapshot/merge serialization — what shard engines ship to routers."""
+
+    def test_counters_add_and_gauges_set_on_merge(self):
+        remote = MetricsRegistry()
+        remote.counter("requests_total").inc(3)
+        remote.gauge("queue_depth").set(4)
+        merged = MetricsRegistry()
+        merged.counter("requests_total").inc(2)
+        merged.merge_payload(remote.to_payload())
+        text = merged.render_prometheus()
+        assert "requests_total 5" in text
+        assert "queue_depth 4" in text
+
+    def test_extra_labels_tag_every_merged_series(self):
+        remote = MetricsRegistry()
+        remote.counter("requests_total", route="embed").inc(2)
+        merged = MetricsRegistry()
+        merged.merge_payload(remote.to_payload(), extra_labels={"shard": "3"})
+        text = merged.render_prometheus()
+        assert 'requests_total{route="embed",shard="3"} 2' in text
+
+    def test_merged_histogram_quantiles_match_shared_registry(self):
+        """Payloads keep raw observations, so merging two shards' histograms
+        yields the same quantiles one shared registry would have seen."""
+        shared = MetricsRegistry()
+        parts = [MetricsRegistry(), MetricsRegistry()]
+        # Binary fractions: float addition is exact, so even the rendered
+        # _sum lines must match bit-for-bit.
+        for i in range(64):
+            value = i / 64.0
+            parts[i % 2].histogram("latency_seconds").observe(value)
+            shared.histogram("latency_seconds").observe(value)
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge_payload(part.to_payload())
+        assert merged.render_prometheus() == shared.render_prometheus()
+
+    def test_payload_round_trips_through_pickle(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("hits_total", shard="0").inc(7)
+        registry.histogram("latency_seconds").observe(0.25)
+        payload = pickle.loads(pickle.dumps(registry.to_payload()))
+        merged = MetricsRegistry()
+        merged.merge_payload(payload)
+        assert 'hits_total{shard="0"} 7' in merged.render_prometheus()
+
+
+class TestMetricsHTTPServer:
+    def test_scrape_returns_fresh_exposition(self):
+        from urllib.request import urlopen
+
+        from repro.obs import MetricsHTTPServer, PROMETHEUS_CONTENT_TYPE
+
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(5)
+        with MetricsHTTPServer(registry.render_prometheus) as server:
+            assert server.port > 0  # ephemeral bind succeeded
+            with urlopen(server.url, timeout=10) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                assert "hits_total 5" in response.read().decode()
+            # Rendered per scrape: a later increment is visible with no flush.
+            registry.counter("hits_total").inc()
+            with urlopen(server.url, timeout=10) as response:
+                assert "hits_total 6" in response.read().decode()
+
+    def test_unknown_path_is_404(self):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        from repro.obs import MetricsHTTPServer
+
+        with MetricsHTTPServer(lambda: "") as server:
+            base = server.url.rsplit("/metrics", 1)[0]
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(base + "/not-metrics", timeout=10)
+            assert excinfo.value.code == 404
+
+    def test_broken_renderer_returns_500_and_survives(self):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        from repro.obs import MetricsHTTPServer
+
+        calls = {"n": 0}
+
+        def render():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("registry on fire")
+            return "ok_total 1\n"
+
+        with MetricsHTTPServer(render) as server:
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(server.url, timeout=10)
+            assert excinfo.value.code == 500
+            with urlopen(server.url, timeout=10) as response:
+                assert "ok_total 1" in response.read().decode()
+
+    def test_cluster_router_render_is_servable(self):
+        """The router's merged shard-labeled exposition plugs straight in
+        (this is what serve-cluster --metrics-port wires up)."""
+        from urllib.request import urlopen
+
+        from repro.obs import MetricsHTTPServer
+
+        registry = MetricsRegistry()
+        shard = MetricsRegistry()
+        shard.counter("serve_requests_total").inc(4)
+        registry.merge_payload(shard.to_payload(), extra_labels={"shard": "0"})
+        with MetricsHTTPServer(registry.render_prometheus) as server:
+            with urlopen(server.url, timeout=10) as response:
+                body = response.read().decode()
+        assert 'serve_requests_total{shard="0"} 4' in body

@@ -161,3 +161,59 @@ class TestSchedulers:
             StepLR(opt, step_size=0)
         with pytest.raises(ValueError):
             CosineLR(opt, total_epochs=0)
+
+
+class TestOptimizerState:
+    """state_dict/load_state_dict — the checkpoint-v3 resume contract."""
+
+    def _loss_step(self, optimizer, param):
+        optimizer.zero_grad()
+        quadratic_loss(param).backward()
+        optimizer.step()
+
+    @pytest.mark.parametrize("make", [
+        lambda p: SGD([p], lr=0.1, momentum=0.9),
+        lambda p: Adam([p], lr=0.1),
+    ])
+    def test_restored_optimizer_continues_identically(self, make):
+        p1 = Parameter(np.array([1.0, -2.0]))
+        reference = make(p1)
+        for _ in range(3):
+            self._loss_step(reference, p1)
+        state = reference.state_dict()
+        trajectory = [p1.data.copy()]
+        for _ in range(3):
+            self._loss_step(reference, p1)
+            trajectory.append(p1.data.copy())
+
+        p2 = Parameter(trajectory[0].copy())
+        resumed = make(p2)
+        resumed.load_state_dict(state)
+        for step in range(3):
+            self._loss_step(resumed, p2)
+            np.testing.assert_array_equal(p2.data, trajectory[step + 1])
+
+    def test_adam_state_dict_carries_step_count(self):
+        p = Parameter(np.array([1.0]))
+        adam = Adam([p], lr=0.1)
+        for _ in range(5):
+            self._loss_step(adam, p)
+        state = adam.state_dict()
+        assert state["step_count"] == 5
+        fresh = Adam([Parameter(np.array([1.0]))], lr=0.1)
+        fresh.load_state_dict(state)
+        assert fresh._step_count == 5
+
+    def test_load_rejects_mismatched_shapes(self):
+        adam = Adam([Parameter(np.array([1.0, 2.0]))], lr=0.1)
+        other = Adam([Parameter(np.zeros((3, 3)))], lr=0.1)
+        with pytest.raises(ValueError, match="shape"):
+            adam.load_state_dict(other.state_dict())
+
+    def test_load_rejects_mismatched_slot_count(self):
+        adam = Adam([Parameter(np.array([1.0]))], lr=0.1)
+        two = Adam(
+            [Parameter(np.array([1.0])), Parameter(np.array([2.0]))], lr=0.1
+        )
+        with pytest.raises(ValueError, match="slots"):
+            adam.load_state_dict(two.state_dict())

@@ -124,3 +124,115 @@ class TestPersistence:
         model.model.save(path)  # Module layer: no metadata entry
         with pytest.raises(ValueError, match="bare parameter file"):
             WidenClassifier.load(path)
+
+
+class TestCheckpointV3:
+    """Format v3: optimizer + trainer state ride in the checkpoint, so a
+    restored run *continues* training exactly where the original stopped."""
+
+    def _fit_kwargs(self, acm):
+        return dict(graph=acm.graph, train_nodes=acm.split.train[:48])
+
+    def test_resume_continues_bit_exact(self, acm, tmp_path):
+        """fit(2); save; load; fit(2) lands on the same bits as fit(4)."""
+        full = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        full.fit(acm.graph, acm.split.train[:48], epochs=4)
+
+        half = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        half.fit(acm.graph, acm.split.train[:48], epochs=2)
+        path = tmp_path / "resume.npz"
+        half.save(path)
+        resumed = WidenClassifier.load(path, graph=acm.graph)
+        resumed.fit(acm.graph, acm.split.train[:48], epochs=2)
+
+        want = full.model.state_dict()
+        got = resumed.model.state_dict()
+        assert set(want) == set(got)
+        for name, value in want.items():
+            np.testing.assert_array_equal(got[name], value, err_msg=name)
+
+    def test_checkpoint_carries_optimizer_state(self, acm, tmp_path):
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=2)
+        path = tmp_path / "v3.npz"
+        model.save(path)
+
+        meta = WidenClassifier.read_checkpoint_metadata(path)
+        assert meta["format_version"] == 3
+        fresh = WidenClassifier.load(path, graph=acm.graph)
+        state = fresh.trainer.optimizer.state_dict()
+        want = model.trainer.optimizer.state_dict()
+        assert state["step_count"] == want["step_count"] > 0
+        for name, slots in want["slots"].items():
+            for got_arr, want_arr in zip(state["slots"][name], slots):
+                np.testing.assert_array_equal(got_arr, want_arr)
+
+    def _downgrade_to_v2(self, path):
+        """Rewrite a fresh checkpoint as a faithful v2: no trainer-state
+        blob, format_version 2."""
+        import json
+
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays.pop("__trainer_state__", None)
+        meta = json.loads(str(arrays["__checkpoint__"]))
+        meta["format_version"] = 2
+        arrays["__checkpoint__"] = json.dumps(meta)
+        np.savez(path, **arrays)
+
+    def test_migrate_v2_to_v3(self, acm, tmp_path):
+        from repro.core import migrate_checkpoint
+
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=1)
+        path = tmp_path / "v2.npz"
+        model.save(path)
+        self._downgrade_to_v2(path)
+
+        meta = migrate_checkpoint(path)
+        assert meta["format_version"] == 3
+        assert meta["migrated_from_version"] == 2
+        # Migrated checkpoints load; they simply have no optimizer state.
+        fresh = WidenClassifier.load(path, graph=acm.graph)
+        assert fresh.predict(acm.split.test[:10]).shape == (10,)
+
+    def test_migrate_is_idempotent_and_supports_out_path(self, acm, tmp_path):
+        from repro.core import migrate_checkpoint
+
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=1)
+        path = tmp_path / "old.npz"
+        model.save(path)
+        self._downgrade_to_v2(path)
+
+        out = tmp_path / "migrated.npz"
+        meta = migrate_checkpoint(path, out_path=out)
+        assert meta["format_version"] == 3
+        # The source is untouched when out_path is given.
+        source_meta = WidenClassifier.read_checkpoint_metadata(path)
+        assert source_meta["format_version"] == 2
+        # Running again on the migrated file changes nothing.
+        again = migrate_checkpoint(out)
+        assert again["format_version"] == 3
+        assert again["migrated_from_version"] == 2
+
+    def test_newer_versions_are_refused(self, acm, tmp_path):
+        import json
+
+        from repro.core import migrate_checkpoint
+
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=5)
+        model.fit(acm.graph, acm.split.train[:48], epochs=1)
+        path = tmp_path / "future.npz"
+        model.save(path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(arrays["__checkpoint__"]))
+        meta["format_version"] = 99
+        arrays["__checkpoint__"] = json.dumps(meta)
+        np.savez(path, **arrays)
+
+        with pytest.raises(ValueError, match="version"):
+            WidenClassifier.load(path, graph=acm.graph)
+        with pytest.raises(ValueError, match="version"):
+            migrate_checkpoint(path)

@@ -1,0 +1,283 @@
+"""The transport boundary: envelopes, replies, and cross-transport exactness.
+
+Two layers of coverage.  The protocol layer is tested with stub engines —
+FIFO delivery, out-of-order gathers, error envelopes, timeouts, startup
+failure.  The integration layer is the satellite contract: an interleaved
+stream of mutations and embeds must produce bit-identical answers through
+the ``inline``, ``thread``, and ``mp`` transports, and all three must match
+a whole-graph :class:`InferenceServer` replaying the same stream.  Because
+every mutation is a serializable planner command applied on both sides of
+the wire, exactness here proves the router-side mirror and the engine-side
+spec never drift.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    Envelope,
+    InlineTransport,
+    MpTransport,
+    Reply,
+    ShardError,
+    ShardTimeoutError,
+    ThreadTransport,
+)
+from repro.cluster.transport import error_info
+from repro.core import WidenClassifier
+from repro.datasets import make_acm
+from repro.serve import InferenceServer
+
+TRANSPORTS = ["inline", "thread", "mp"]
+
+
+@pytest.fixture(scope="module")
+def acm():
+    return make_acm(seed=0, scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(acm, tmp_path_factory):
+    """A reach-2 model: cheap enough to rebuild per mp worker process."""
+    model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=2)
+    model.fit(acm.graph, acm.split.train[:40], epochs=1)
+    path = tmp_path_factory.mktemp("transport") / "widen.npz"
+    model.save(path)
+    return path
+
+
+def fresh_graph():
+    return make_acm(seed=0, scale=0.5).graph
+
+
+def fresh_single_server(checkpoint):
+    graph = fresh_graph()
+    classifier = WidenClassifier.load(checkpoint, graph=graph)
+    return InferenceServer(classifier, graph, seed=7)
+
+
+def fresh_router(checkpoint, num_shards, transport):
+    return ClusterRouter.from_checkpoint(
+        checkpoint, fresh_graph(), num_shards, transport=transport, seed=7
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol layer: stub engines, no model involved
+# ----------------------------------------------------------------------
+
+
+class EchoEngine:
+    """Replies with its envelope's payload; records the arrival order."""
+
+    def __init__(self) -> None:
+        self.seen = []
+
+    def handle(self, envelope: Envelope) -> Reply:
+        self.seen.append((envelope.kind, envelope.seq))
+        if envelope.kind == "boom":
+            raise KeyError("engine exploded")
+        if envelope.kind == "nap":
+            time.sleep(envelope.payload["seconds"])
+        return Reply(seq=envelope.seq, ok=True, payload=dict(envelope.payload))
+
+
+class TestProtocol:
+    def test_envelope_and_reply_pickle_round_trip(self):
+        env = Envelope(kind="serve", payload={"nodes": np.arange(3)}, seq=9)
+        back = pickle.loads(pickle.dumps(env))
+        assert back.kind == "serve" and back.seq == 9
+        np.testing.assert_array_equal(back.payload["nodes"], np.arange(3))
+        reply = Reply(seq=9, ok=False, error=error_info(ValueError("bad")))
+        back = pickle.loads(pickle.dumps(reply))
+        assert back.error["type"] == "ValueError"
+        assert "bad" in back.error["message"]
+        assert "Traceback" in back.error["traceback"] or back.error["traceback"]
+
+    @pytest.mark.parametrize("make", [
+        lambda: InlineTransport(0, EchoEngine),
+        lambda: ThreadTransport(0, EchoEngine),
+    ])
+    def test_fifo_order_and_out_of_order_gather(self, make):
+        transport = make()
+        transport.start()
+        try:
+            transport.wait_ready(10.0)
+            pendings = [
+                transport.send(Envelope(kind="serve", payload={"i": i}))
+                for i in range(6)
+            ]
+            # Gather in reverse — replies must still pair with their seqs.
+            for i in reversed(range(6)):
+                assert pendings[i].result(10.0)["i"] == i
+        finally:
+            transport.stop()
+
+    def test_error_becomes_shard_error_with_remote_type(self):
+        transport = ThreadTransport(3, EchoEngine)
+        transport.start()
+        try:
+            transport.wait_ready(10.0)
+            pending = transport.send(Envelope(kind="boom"))
+            with pytest.raises(ShardError) as excinfo:
+                pending.result(10.0)
+            assert excinfo.value.shard_id == 3
+            assert "KeyError" in str(excinfo.value)
+            # The stream survives the error: the next envelope still works.
+            assert transport.send(
+                Envelope(kind="serve", payload={"i": 1})
+            ).result(10.0)["i"] == 1
+        finally:
+            transport.stop()
+
+    def test_slow_reply_times_out(self):
+        transport = ThreadTransport(0, EchoEngine)
+        transport.start()
+        try:
+            transport.wait_ready(10.0)
+            pending = transport.send(
+                Envelope(kind="nap", payload={"seconds": 0.5})
+            )
+            with pytest.raises(ShardTimeoutError):
+                pending.result(0.01)
+            # A patient gather afterwards still sees the reply.
+            assert pending.result(10.0)["seconds"] == 0.5
+        finally:
+            transport.stop()
+
+    def test_failing_engine_factory_surfaces_at_wait_ready(self):
+        def factory():
+            raise RuntimeError("no such shard")
+
+        transport = ThreadTransport(0, factory)
+        transport.start()
+        with pytest.raises(RuntimeError, match="no such shard"):
+            transport.wait_ready(10.0)
+        transport.stop()
+
+    def test_inline_round_trips_the_wire_format(self):
+        """Inline is a *replay* of the wire protocol: anything unpicklable
+        must fail on inline exactly as it would on mp."""
+        transport = InlineTransport(0, EchoEngine)
+        transport.start()
+        transport.wait_ready()
+        with pytest.raises(Exception):
+            transport.send(
+                Envelope(kind="serve", payload={"fn": lambda: None})
+            )
+        transport.stop()
+
+
+# ----------------------------------------------------------------------
+# Integration layer: interleaved mutation/embed streams, all transports
+# ----------------------------------------------------------------------
+
+
+def run_stream(target):
+    """A deterministic interleaving of mutations and serves.
+
+    Adds nodes and boundary-prone edges *between* embed calls so each
+    serve observes a different graph version; collected outputs must be
+    bit-identical however the stream is executed.
+    """
+    dim = target.graph.features.shape[1]
+    probe = np.random.default_rng(11).choice(200, size=8, replace=False)
+    outputs = [target.embed(probe)]
+    first = target.add_nodes("paper", features=np.full((2, dim), 0.3))
+    target.add_edges("paper-author", [int(first[0]), int(first[1])], [1, 3])
+    outputs.append(target.embed(np.append(probe, first)))
+    target.add_edges("paper-subject", [int(first[0]), 5], [7, 9])
+    second = target.add_nodes("paper", features=np.full((1, dim), -0.2))
+    target.add_edges("paper-author", [int(second[0])], [4])
+    outputs.append(target.embed(np.append(probe, second)))
+    outputs.append(target.classify(probe))
+    return outputs
+
+
+@pytest.fixture(scope="module")
+def stream_reference(checkpoint):
+    return run_stream(fresh_single_server(checkpoint))
+
+
+class TestCrossTransportExactness:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_interleaved_stream_bit_identical(
+        self, checkpoint, stream_reference, transport
+    ):
+        """The satellite contract: mutations and embeds interleaved through
+        every transport answer exactly what one whole-graph server does."""
+        with fresh_router(checkpoint, 2, transport) as router:
+            got = run_stream(router)
+        assert len(got) == len(stream_reference)
+        for ours, want in zip(got, stream_reference):
+            np.testing.assert_array_equal(ours, want)
+
+    def test_thread_and_mp_agree_with_inline_post_mutation(self, checkpoint):
+        """Three routers consume the same stream concurrently-shaped work;
+        their final answers must agree bit-for-bit with each other."""
+        finals = {}
+        for transport in TRANSPORTS:
+            with fresh_router(checkpoint, 2, transport) as router:
+                run_stream(router)
+                probe = np.arange(16)
+                finals[transport] = router.embed(probe)
+        np.testing.assert_array_equal(finals["thread"], finals["inline"])
+        np.testing.assert_array_equal(finals["mp"], finals["inline"])
+
+    def test_mp_four_shards_boundary_nodes_exact(self, checkpoint):
+        single = fresh_single_server(checkpoint)
+        with fresh_router(checkpoint, 4, "mp") as router:
+            picked = []
+            for worker in router.workers:
+                spec = worker.spec
+                crossers = spec.owned[spec.touches_halo[spec.owned]]
+                picked.extend(int(n) for n in crossers[:2])
+            probe = np.asarray(picked, dtype=np.int64)
+            assert probe.size > 0, "partition produced no boundary nodes"
+            np.testing.assert_array_equal(
+                router.embed(probe), single.embed(probe)
+            )
+
+    def test_serving_state_pull_crosses_every_transport(self, checkpoint):
+        for transport in TRANSPORTS:
+            with fresh_router(checkpoint, 2, transport) as router:
+                run_stream(router)
+                for worker in router.workers:
+                    state = worker.pull_serving_state().result(60.0)[
+                        "serving_state"
+                    ]
+                    # Selective refresh: a shard outside an edge's closure
+                    # never sees that bump, so it may lag the global graph.
+                    assert 0 < state["graph_version"] <= router.graph.version
+                    assert state["graph_version"] == worker.spec.graph.version
+                    assert state["version_base"] >= 0
+
+    def test_mp_error_envelope_keeps_worker_alive(self, checkpoint):
+        with fresh_router(checkpoint, 1, "mp") as router:
+            worker = router.workers[0]
+            bad = worker.request(router.graph.num_nodes + 50, "embed")
+            with pytest.raises(ShardError):
+                bad.result(60.0)
+            # The process survived; a good request still round-trips.
+            value = worker.request(0, "embed").result(60.0)
+            assert np.asarray(value).ndim == 1
+
+    def test_mp_replay_matches_inline_summary_counts(self, checkpoint, acm):
+        from repro.serve import make_trace
+
+        trace = make_trace(acm.split.test[:20], 24, rate=5000.0, rng=2)
+        counts = {}
+        for transport in ("inline", "mp"):
+            with fresh_router(checkpoint, 2, transport) as router:
+                summary = router.replay(trace)
+                counts[transport] = (
+                    summary["requests"],
+                    summary["halo_requests"],
+                    tuple(s["requests"] for s in summary["shards"]),
+                )
+                assert summary["transport"] == transport
+        assert counts["mp"] == counts["inline"]
