@@ -23,6 +23,14 @@ Commands
     ``thread`` (worker threads), or ``mp`` (worker processes rebuilt from
     the checkpoint).  ``--prometheus-out`` writes the merged shard-labeled
     Prometheus exposition.
+``store-build [dataset] [--out DIR] [--checkpoint F] [--epochs N]``
+    Materialize every node's wide/deep aggregate rows into a versioned
+    on-disk store (:mod:`repro.store`).  Loads ``--checkpoint`` when
+    given, otherwise trains first (same seed/epochs defaults as
+    ``serve-bench``, so the two line up without a checkpoint file).
+    ``serve-bench --store DIR`` and ``serve-cluster --store DIR`` then
+    serve cache misses from the store — attention + MLP only, no
+    sampling — falling back to full recompute for stale/absent rows.
 ``tune-scatter [--repeats N] [--tuning-out F]``
     Micro-sweep the scatter-add backend crossovers on this machine and
     print the ``REPRO_SCATTER_*`` environment settings they imply.
@@ -196,6 +204,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    from repro.core import WidenClassifier
+    from repro.datasets import make_dataset
+    from repro.obs import get_registry
+    from repro.store import build_store
+
+    dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    if args.checkpoint:
+        print(f"loading checkpoint {args.checkpoint} ...")
+        model = WidenClassifier.load(args.checkpoint, graph=dataset.graph)
+    else:
+        print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
+        model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
+        model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
+
+    store = build_store(
+        model, dataset.graph, args.out,
+        seed=args.seed, dataset=dataset.name, checkpoint=args.checkpoint,
+    )
+    registry = get_registry()
+    seconds = registry.gauge("store_build_seconds").value
+    print(f"materialized {store.num_rows} node rows "
+          f"({store.nbytes / 1e6:.1f} MB, {store.row_nbytes} B/row) "
+          f"in {seconds:.2f}s -> {args.out}")
+    print(f"store keyed to params digest {store.meta['params_digest']}, "
+          f"seed {store.meta['seed']}, graph version {store.meta['graph_version']}")
+    _maybe_dump_metrics(args)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -237,16 +275,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{cold['latency_p99_s'] * 1e3:.3f} ms")
         print(f"throughput        {cold['throughput_rps']:.1f} req/s\n")
 
+        store = None
+        if args.store:
+            from repro.store import AggregateStore
+
+            store = AggregateStore.open(args.store)
+            print(f"store: {store.num_rows} materialized rows from "
+                  f"{args.store} (digest {store.meta['params_digest']})\n")
         server = InferenceServer(
             served, dataset.graph,
             max_batch_size=args.batch_size, max_wait=args.max_wait,
             cache_capacity=args.cache_capacity, seed=args.seed,
+            store=store,
         )
-        from repro.obs import get_registry
-
-        endpoint = _maybe_serve_metrics(
-            args, lambda: get_registry().render_prometheus()
-        )
+        # The endpoint renders the server's snapshot — registry series
+        # plus the cache node-hit histogram and store gauges.
+        endpoint = _maybe_serve_metrics(args, server.render_prometheus)
         try:
             replay(server, trace)
             print(server.telemetry.format_report(
@@ -298,7 +342,11 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_capacity, seed=args.seed,
             partition_seed=args.seed,
             prometheus_path=args.prometheus_out,
+            store_path=args.store or None,
         )
+        if args.store:
+            print(f"store: sliced {router.store.num_rows} rows from "
+                  f"{args.store} across {args.shards} shards by ownership")
         endpoint = _maybe_serve_metrics(args, router.render_prometheus)
         plan = router.plan.summary()
         print(f"\nplan: {plan['num_shards']} shards over the "
@@ -365,7 +413,7 @@ def main(argv=None) -> int:
         "command",
         choices=(
             "stats", "train", "compare", "serve-bench", "serve-cluster",
-            "profile", "tune-scatter",
+            "store-build", "profile", "tune-scatter",
         ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
@@ -416,6 +464,15 @@ def main(argv=None) -> int:
     cluster.add_argument("--prometheus-out", default=None,
                          help="write the merged shard-labeled Prometheus "
                               "text exposition to this path")
+    store = parser.add_argument_group("store")
+    store.add_argument("--store", default=None,
+                       help="serve-bench/serve-cluster: serve cache misses "
+                            "from this materialized-aggregate store directory")
+    store.add_argument("--out", default="store",
+                       help="store-build: output directory for the store")
+    store.add_argument("--checkpoint", default=None,
+                       help="store-build: materialize from this checkpoint "
+                            "instead of training fresh")
     tune = parser.add_argument_group("tune-scatter")
     tune.add_argument("--repeats", type=int, default=30,
                       help="timing repeats per backend per shape (median)")
@@ -431,6 +488,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "serve-bench": _cmd_serve_bench,
         "serve-cluster": _cmd_serve_cluster,
+        "store-build": _cmd_store_build,
         "profile": _cmd_profile,
         "tune-scatter": _cmd_tune_scatter,
     }

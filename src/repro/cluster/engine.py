@@ -94,6 +94,16 @@ class ShardEngine:
             )
         else:
             raise ValueError("need a checkpoint path or a classifier_factory")
+        store_payload = config.get("store")
+        if store_payload is not None:
+            # The shard's slice of the materialized-aggregate store
+            # (owned nodes only — halo nodes are never served locally, so
+            # shipping their rows would be dead weight).  Plain arrays, so
+            # the same payload works in-process and across the mp pickle
+            # boundary.
+            from repro.store import AggregateStore
+
+            server.attach_store(AggregateStore.from_payload(store_payload))
         return cls(spec, server)
 
     @classmethod
@@ -179,7 +189,10 @@ class ShardEngine:
         }
 
     def _handle_metrics(self, payload: Dict[str, object]) -> Dict[str, object]:
-        return {"registry": self.server.telemetry.registry.to_payload()}
+        # Snapshot (not the raw registry): includes the cache node-hit
+        # histogram and store gauges, so the cluster-wide exposition shows
+        # store efficacy per shard.
+        return {"registry": self.server.metrics_registry_snapshot().to_payload()}
 
     def _handle_serving_state(self, payload: Dict[str, object]) -> Dict[str, object]:
         return {"serving_state": self.server.export_serving_state()}

@@ -95,6 +95,7 @@ class ClusterRouter:
         start_timeout: float = 120.0,
         prometheus_path: Optional[str] = None,
         prometheus_interval: float = 10.0,
+        store_path: Optional[str] = None,
     ) -> None:
         if transport is None:
             transport = _MODE_ALIASES.get(mode, "thread") if mode else "thread"
@@ -136,6 +137,22 @@ class ClusterRouter:
         self.plan: ClusterPlan = ShardPlanner(
             graph, reach, num_shards, seed=partition_seed
         ).plan()
+        # Materialized-aggregate tier: validate once against the probe
+        # classifier (same parameters and seed every shard will use), then
+        # slice per shard by ownership — owned nodes only, because a shard
+        # serves only nodes it owns; its halo exists to make local
+        # sampling exact, not to answer requests.
+        self.store = None
+        if store_path is not None:
+            from repro.store import AggregateStore
+
+            self.store = AggregateStore.open(store_path)
+            reason = self.store.compatible_with(probe, int(seed))
+            if reason is not None:
+                raise ValueError(
+                    f"store at {store_path!r} incompatible with this "
+                    f"cluster: {reason}"
+                )
         config = {
             "max_batch_size": int(max_batch_size),
             "max_wait": float(max_wait),
@@ -144,11 +161,16 @@ class ClusterRouter:
         }
         self.workers: List[ShardWorker] = []
         for spec in self.plan.shards:
+            shard_config = dict(config)
+            if self.store is not None:
+                shard_config["store"] = self.store.slice_payload(
+                    spec.owned.tolist()
+                )
             channel = self._make_transport(
                 transport,
                 spec.shard_id,
                 spec.to_payload(),
-                config,
+                shard_config,
                 checkpoint=checkpoint,
                 classifier_factory=classifier_factory,
                 inbox_capacity=inbox_capacity,

@@ -202,6 +202,134 @@ class WidenClassifier(BaseClassifier):
         return embeddings.data[:1] if padded else embeddings.data
 
     # ------------------------------------------------------------------
+    # Materialized-aggregate hooks (repro.store)
+    # ------------------------------------------------------------------
+
+    def params_digest(self) -> str:
+        """Content hash of the model parameters (the store's checkpoint id).
+
+        A materialized store holds *post-projection* pack rows, so it is
+        only valid against the exact parameters that produced it; the
+        digest lets :class:`repro.store.AggregateStore` refuse a mismatched
+        model instead of silently serving wrong aggregates.
+        """
+        if self.model is None:
+            raise RuntimeError("params_digest before fit/load")
+        import hashlib
+
+        digest = hashlib.sha256()
+        state = self.model.state_dict()
+        for name in sorted(state):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(state[name]).tobytes())
+        return digest.hexdigest()[:16]
+
+    def supports_store(self) -> Optional[str]:
+        """``None`` if store rows reproduce this classifier's serving path
+        exactly; otherwise the human-readable reason they cannot."""
+        if self.config.embedding_mode == "replace":
+            return "embedding_mode='replace' warms a per-call state table"
+        if self.config.forward_mode != "batched":
+            return f"forward_mode={self.config.forward_mode!r} is not 'batched'"
+        return None
+
+    def materialize_store_rows(self, nodes: np.ndarray, graph: HeteroGraph, rngs):
+        """Sample + pack ``nodes`` into store rows (one rng per node).
+
+        The sampling mirrors :meth:`embed_for_serving_batch` exactly — per
+        node rng, fresh :class:`NeighborStateStore` — so rows materialized
+        with rng ``(seed, version, node)`` feed a serving answer
+        bit-identical to the recompute path under the same seeds.
+        """
+        if self.trainer is None:
+            raise RuntimeError("materialize_store_rows before fit/bind")
+        reason = self.supports_store()
+        if reason is not None:
+            raise ValueError(f"store materialization unsupported: {reason}")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(rngs) != nodes.size:
+            raise ValueError(f"{nodes.size} nodes but {len(rngs)} rngs")
+        if nodes.size == 0:
+            return []
+        states = []
+        for node, rng in zip(nodes, rngs):
+            store = NeighborStateStore(
+                graph,
+                num_wide=self.config.num_wide,
+                num_deep=self.config.num_deep,
+                num_deep_walks=self.config.num_deep_walks,
+                rng=new_rng(rng),
+            )
+            states.append(store.get(int(node)))
+        padded = nodes.size == 1
+        if padded:
+            nodes = np.concatenate([nodes, nodes])
+            states = [states[0], states[0]]
+        model = self.trainer.model
+        model.eval()
+        with no_grad():
+            rows = model.materialize_rows(nodes, states, graph)
+        model.train()
+        return rows[:1] if padded else rows
+
+    def embed_from_store_rows(self, rows) -> np.ndarray:
+        """Warm serving compute: attention + MLP over materialized rows.
+
+        No sampling, no feature projection, no edge gathers — the store
+        tier's whole point.  The gemv/gemm padding trick from
+        :meth:`embed_for_serving_batch` applies here too, so a singleton
+        answer carries the same bits as the same node in a larger batch.
+        """
+        if self.trainer is None:
+            raise RuntimeError("embed_from_store_rows before fit/bind")
+        if not rows:
+            return np.empty((0, self.config.dim))
+        padded = len(rows) == 1
+        if padded:
+            rows = [rows[0], rows[0]]
+        model = self.trainer.model
+        model.eval()
+        with no_grad():
+            embeddings = model.forward_from_rows(rows)
+        model.train()
+        return embeddings.data[:1] if padded else embeddings.data
+
+    def embed_from_store_blocks(
+        self, blocks: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`embed_from_store_rows` minus the decode/re-pad round trip.
+
+        Takes the store's ``(B, R, d)`` capacity-padded blocks and
+        ``(B, 1 + Φ)`` lengths directly — the serving hot path stacks mmap
+        block views and calls this once per batch, with no per-node trim
+        or re-pad work.  Bit-identical to the rows path (capacity padding
+        is exact); the singleton gemv/gemm padding trick applies here too.
+        """
+        if self.trainer is None:
+            raise RuntimeError("embed_from_store_blocks before fit/bind")
+        blocks = np.asarray(blocks)
+        if blocks.shape[0] == 0:
+            return np.empty((0, self.config.dim))
+        lengths = np.asarray(lengths, np.int64)
+        padded = blocks.shape[0] == 1
+        if padded:
+            blocks = np.concatenate([blocks, blocks], axis=0)
+            lengths = np.concatenate([lengths, lengths], axis=0)
+        config = self.config
+        model = self.trainer.model
+        model.eval()
+        with no_grad():
+            embeddings = model.forward_from_blocks(
+                blocks,
+                lengths,
+                wide_cap=(config.num_wide + 1) if config.use_wide else 0,
+                deep_cap=(config.num_deep + 1) if config.use_deep else 0,
+                num_walks=config.num_deep_walks,
+            )
+        model.train()
+        return embeddings.data[:1] if padded else embeddings.data
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 

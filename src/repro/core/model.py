@@ -26,7 +26,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import WidenConfig
-from repro.core.packing import PackedBatch, pack_batch
+from repro.core.packing import (
+    PackedBatch,
+    PackRows,
+    deep_causal_mask,
+    pack_batch,
+    pad_block_masks,
+    pad_pack_rows,
+)
 from repro.core.relay import EdgeSpecLike, RelayRecipe
 from repro.core.state import NeighborState
 from repro.graph import HeteroGraph
@@ -459,9 +466,8 @@ class WidenModel(Module):
                         flat, pack.wide_index, pack.wide_valid,
                         edge_vecs, pack.wide_dropout,
                     )
-                    query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (batch, d))
-                    h_wide, weights = self.wide_pass(
-                        query, packs, mask=pack.wide_attn_mask
+                    h_wide, weights = self._attend_wide(
+                        packs, pack.wide_attn_mask, batch
                     )
                     wide_attentions = [
                         weights.data[b, : pack.wide_lengths[b]].copy()
@@ -488,18 +494,9 @@ class WidenModel(Module):
                         flat, pack.deep_index, pack.deep_valid,
                         edge_vecs, pack.deep_dropout,
                     )
-                    if config.use_successive:
-                        refined, _ = self.deep_successive(
-                            packs, mask=pack.deep_causal_mask
-                        )
-                    else:
-                        refined = packs
-                    query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (total, d))
-                    h_walks, weights = self.deep_pass(
-                        query, refined, values=packs, mask=pack.deep_attn_mask
-                    )
-                    h_deep = ops.mean(
-                        ops.reshape(h_walks, (batch, pack.num_walks, d)), axis=1
+                    h_deep, weights = self._attend_deep(
+                        packs, pack.deep_attn_mask, pack.deep_causal_mask,
+                        batch, pack.num_walks,
                     )
                     for w in range(total):
                         deep_attentions[w // pack.num_walks].append(
@@ -508,11 +505,240 @@ class WidenModel(Module):
             else:
                 h_deep = Tensor(np.zeros((batch, d)))
 
-            hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=1)))
-            if pack.hidden_dropout is not None:
-                hidden = ops.dropout_mask(hidden, pack.hidden_dropout)
-            embeddings = F.l2_normalize(hidden, axis=-1)
+            embeddings = self._fuse_batch(h_wide, h_deep, pack.hidden_dropout)
         return embeddings, wide_attentions, deep_attentions
+
+    # -- shared attention + fusion halves --------------------------------
+    #
+    # The second half of the batched forward, factored out so the store
+    # serving path (:meth:`forward_from_rows`) runs the *same* code over
+    # materialized pack rows — bit-equality between the store tier and the
+    # recompute oracle reduces to equality of the pack tensors.
+
+    def _attend_wide(self, packs: Tensor, mask: np.ndarray, batch: int):
+        """PASS° (Eq. 3) over a padded ``(B, Lw, d)`` pack tensor."""
+        d = self.config.dim
+        query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (batch, d))
+        return self.wide_pass(query, packs, mask=mask)
+
+    def _attend_deep(
+        self,
+        packs: Tensor,
+        attn_mask: np.ndarray,
+        causal_mask_batch: np.ndarray,
+        batch: int,
+        num_walks: int,
+    ):
+        """PASS▷ (Eqs. 4-6) over padded ``(B·Φ, Ld, d)`` walk packs.
+
+        Returns ``(h_deep, weights)`` with ``h_deep`` the ``(B, d)``
+        average pool over the Φ walks and ``weights`` the raw per-walk
+        attention distributions (still padded; callers trim).
+        """
+        d = self.config.dim
+        total = int(packs.data.shape[0])
+        if self.config.use_successive:
+            refined, _ = self.deep_successive(packs, mask=causal_mask_batch)
+        else:
+            refined = packs
+        query = ops.reshape(ops.slice(packs, 0, 1, axis=1), (total, d))
+        h_walks, weights = self.deep_pass(
+            query, refined, values=packs, mask=attn_mask
+        )
+        h_deep = ops.mean(ops.reshape(h_walks, (batch, num_walks, d)), axis=1)
+        return h_deep, weights
+
+    def _fuse_batch(
+        self,
+        h_wide: Tensor,
+        h_deep: Tensor,
+        hidden_dropout: Optional[np.ndarray],
+    ) -> Tensor:
+        """FUSE (Eq. 7) for a batch: ``normalize(ReLU(W [h°; h▷] + b))``."""
+        hidden = ops.relu(self.fuse(ops.concat([h_wide, h_deep], axis=1)))
+        if hidden_dropout is not None:
+            hidden = ops.dropout_mask(hidden, hidden_dropout)
+        return F.l2_normalize(hidden, axis=-1)
+
+    # ------------------------------------------------------------------
+    # Materialized pack rows (repro.store)
+    # ------------------------------------------------------------------
+
+    def materialize_rows(
+        self,
+        targets: Sequence[int],
+        states: Sequence[NeighborState],
+        graph: HeteroGraph,
+    ) -> List[PackRows]:
+        """The first half of :meth:`forward_batch`, stopped at the packs.
+
+        Runs sampling-dependent work — feature projection, edge-embedding
+        gathers, relay evaluation, the ``pad_gather_mul`` pack assembly —
+        and returns each target's pack matrices trimmed to true lengths
+        (:class:`PackRows`).  Always evaluates without dropout (dropout
+        modules are bypassed entirely, so no rng stream is consumed); the
+        values are exactly what the eval-mode batched forward would feed
+        its attention stages, which is what makes a later
+        :meth:`forward_from_rows` bit-equal to the full recompute.
+        """
+        config = self.config
+        d = config.dim
+        pack = pack_batch(targets, states, graph, config)
+        batch = pack.batch_size
+
+        with trace_span("widen.materialize", batch=batch):
+            target_vecs = ops.matmul(
+                Tensor(graph.features[pack.targets]), self.project.weight
+            )
+            if pack.neighbor_nodes.size:
+                neighbor_vecs = ops.matmul(
+                    Tensor(graph.features[pack.neighbor_nodes]),
+                    self.project.weight,
+                )
+                flat = ops.concat([target_vecs, neighbor_vecs], axis=0)
+            else:
+                flat = target_vecs
+
+            wide_rows: List[Optional[np.ndarray]] = [None] * batch
+            if config.use_wide:
+                edge_vecs = self.edge_embedding(pack.wide_etypes)
+                packs = ops.pad_gather_mul(
+                    flat, pack.wide_index, pack.wide_valid, edge_vecs, None
+                )
+                wide_rows = [
+                    packs.data[b, : int(pack.wide_lengths[b])].copy()
+                    for b in range(batch)
+                ]
+
+            deep_rows: List[List[np.ndarray]] = [[] for _ in range(batch)]
+            if config.use_deep:
+                total, width = pack.deep_index.shape
+                edge_vecs = self.edge_embedding(pack.deep_etypes)
+                if pack.deep_relays:
+                    relay_rows = self.relay_vectors_bulk(
+                        pack.deep_relays, graph, None
+                    )
+                    flat_edges = ops.reshape(edge_vecs, (total * width, d))
+                    flat_edges = ops.scatter_rows(
+                        flat_edges, pack.deep_relay_rows, relay_rows
+                    )
+                    edge_vecs = ops.reshape(flat_edges, (total, width, d))
+                packs = ops.pad_gather_mul(
+                    flat, pack.deep_index, pack.deep_valid, edge_vecs, None
+                )
+                for w in range(total):
+                    deep_rows[w // pack.num_walks].append(
+                        packs.data[w, : int(pack.deep_lengths[w])].copy()
+                    )
+
+        return [
+            PackRows(wide=wide_rows[b], deep=deep_rows[b]) for b in range(batch)
+        ]
+
+    def forward_from_rows(self, rows: Sequence[PackRows]) -> Tensor:
+        """The second half of :meth:`forward_batch`, fed from stored rows.
+
+        Reassembles the padded pack tensors and masks with the exact
+        padding convention of :func:`pack_batch` (zero rows, additive
+        0/-inf masks, self-attending padded walk rows) and runs the shared
+        attention + fusion halves — no sampling, no projection, no edge
+        gathers.  For rows produced by :meth:`materialize_rows` from the
+        same sampled neighborhoods, the returned ``(B, d)`` embeddings are
+        bit-identical to eval-mode :meth:`forward_batch`.
+        """
+        config = self.config
+        d = config.dim
+        batch = len(rows)
+        if batch == 0:
+            raise ValueError("forward_from_rows requires at least one row set")
+
+        with trace_span("widen.forward_from_rows", batch=batch):
+            if config.use_wide:
+                padded, _, attn_mask, _ = pad_pack_rows(
+                    [row.wide for row in rows], d
+                )
+                with trace_span("widen.wide_pass", packs=int(padded[..., 0].size)):
+                    h_wide, _ = self._attend_wide(
+                        Tensor(padded), attn_mask, batch
+                    )
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            if config.use_deep:
+                num_walks = len(rows[0].deep)
+                for row in rows:
+                    if len(row.deep) != num_walks:
+                        raise ValueError(
+                            "all row sets must carry the same walk count Φ"
+                        )
+                walks = [walk for row in rows for walk in row.deep]
+                padded, valid, attn_mask, _ = pad_pack_rows(walks, d)
+                causal = deep_causal_mask(valid, attn_mask)
+                with trace_span("widen.deep_pass", packs=int(padded[..., 0].size)):
+                    h_deep, _ = self._attend_deep(
+                        Tensor(padded), attn_mask, causal, batch, num_walks
+                    )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            return self._fuse_batch(h_wide, h_deep, None)
+
+    def forward_from_blocks(
+        self,
+        blocks: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        wide_cap: int,
+        deep_cap: int,
+        num_walks: int,
+    ) -> Tensor:
+        """:meth:`forward_from_rows` over capacity-padded store blocks.
+
+        ``blocks`` is ``(B, R, d)`` exactly as the store persists it —
+        wide rows first, then Φ contiguous walk segments, zero-padded to
+        the sampling caps — and ``lengths`` is ``(B, 1 + Φ)``.  The blocks
+        feed attention *as stored*: no per-row trimming, no re-padding, no
+        per-node Python.  Masks come from :func:`pad_block_masks`, and
+        padding to capacity rather than the batch maximum is exact (zero
+        rows under ``-inf`` mask entries contribute nothing), so the
+        result is bit-identical to :meth:`forward_from_rows` on the
+        decoded rows — and hence to the full recompute.
+        """
+        config = self.config
+        d = config.dim
+        batch = int(blocks.shape[0])
+        if batch == 0:
+            raise ValueError("forward_from_blocks requires at least one block")
+
+        with trace_span("widen.forward_from_blocks", batch=batch):
+            if config.use_wide:
+                packs = np.ascontiguousarray(blocks[:, :wide_cap, :])
+                _, attn_mask = pad_block_masks(lengths[:, 0], wide_cap)
+                with trace_span("widen.wide_pass", packs=int(packs[..., 0].size)):
+                    h_wide, _ = self._attend_wide(
+                        Tensor(packs), attn_mask, batch
+                    )
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            if config.use_deep:
+                walk_packs = np.ascontiguousarray(
+                    blocks[:, wide_cap:, :]
+                ).reshape(batch * num_walks, deep_cap, d)
+                valid, attn_mask = pad_block_masks(
+                    lengths[:, 1:].reshape(batch * num_walks), deep_cap
+                )
+                causal = deep_causal_mask(valid, attn_mask)
+                with trace_span(
+                    "widen.deep_pass", packs=int(walk_packs[..., 0].size)
+                ):
+                    h_deep, _ = self._attend_deep(
+                        Tensor(walk_packs), attn_mask, causal, batch, num_walks
+                    )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            return self._fuse_batch(h_wide, h_deep, None)
 
     def logits(self, embeddings: Tensor) -> Tensor:
         """Class logits ``v' C`` (Eq. 10, pre-softmax)."""

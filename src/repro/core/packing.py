@@ -38,6 +38,90 @@ from repro.graph import HeteroGraph
 
 _NEG_INF = float("-inf")
 
+# width -> strictly-lower-triangular -inf base for deep_causal_mask.
+_CAUSAL_BASES: Dict[int, np.ndarray] = {}
+
+
+@dataclass
+class PackRows:
+    """One target's materialized pack matrices, trimmed to true lengths.
+
+    ``wide`` is the ``(|W| + 1, d)`` matrix ``M°`` (Eq. 1) and ``deep``
+    holds Φ matrices ``M▷`` (Eq. 2), each ``(|D_j| + 1, d)`` with the
+    target pack in row 0 — exactly the values :func:`pad_gather_mul`
+    produces in eval mode, before any attention.  These rows are what
+    ``repro.store`` persists: re-running attention + fuse over them
+    (:meth:`WidenModel.forward_from_rows`) reproduces the full forward
+    bit-for-bit without sampling, feature projection or edge gathers.
+    """
+
+    wide: Optional[np.ndarray]
+    deep: List[np.ndarray]
+
+    def nbytes(self) -> int:
+        total = 0 if self.wide is None else self.wide.nbytes
+        return total + sum(walk.nbytes for walk in self.deep)
+
+
+def pad_pack_rows(rows: Sequence[np.ndarray], dim: int):
+    """Stack trimmed pack matrices into a padded batch tensor + masks.
+
+    Returns ``(padded, valid, attn_mask, lengths)`` with the identical
+    padding convention as :func:`pack_batch`: padded slots are exactly
+    zero and carry ``-inf`` additive mask entries, so attention over the
+    reassembled tensor is bit-equal to attention over the original
+    gather output — padding is numerically inert, not approximately so.
+    """
+    lengths = np.array([row.shape[0] for row in rows], np.int64)
+    width = int(lengths.max())
+    padded = np.zeros((len(rows), width, dim))
+    valid = np.zeros((len(rows), width))
+    for i, row in enumerate(rows):
+        padded[i, : row.shape[0]] = row
+        valid[i, : row.shape[0]] = 1.0
+    attn_mask = np.where(valid > 0.0, 0.0, _NEG_INF)
+    return padded, valid, attn_mask, lengths
+
+
+def pad_block_masks(lengths: np.ndarray, width: int):
+    """``(valid, attn_mask)`` for capacity-padded blocks, no Python loops.
+
+    Store blocks are persisted zero-padded to a fixed capacity, so the
+    serving hot path never re-packs rows — it only needs masks derived
+    from the true lengths.  Padding to capacity instead of the batch
+    maximum is numerically inert for the same reason :func:`pad_pack_rows`
+    padding is: padded slots are exactly zero, carry ``-inf`` mask
+    entries, and appending exact zeros to a summation changes nothing.
+    """
+    valid = (
+        np.arange(width) < np.asarray(lengths, np.int64).reshape(-1, 1)
+    ).astype(float)
+    attn_mask = np.where(valid > 0.0, 0.0, _NEG_INF)
+    return valid, attn_mask
+
+
+def deep_causal_mask(valid: np.ndarray, attn_mask: np.ndarray) -> np.ndarray:
+    """Causal mask Θ (Eq. 6) plus key padding for a padded walk batch.
+
+    Padded *rows* would see only -inf (causal keeps j >= i, all of which
+    are padding), which NaNs the softmax — let them attend to themselves
+    instead: their packs are exactly zero, so the refined row stays zero
+    and carries no gradient.
+    """
+    width = valid.shape[1]
+    causal = _CAUSAL_BASES.get(width)
+    if causal is None:
+        # One strictly-lower-triangular -inf template per width; widths
+        # are bounded by the deep sampling cap, so the cache stays tiny
+        # while the serving hot path skips the tril rebuild per batch.
+        causal = np.zeros((width, width))
+        causal[np.tril_indices(width, k=-1)] = _NEG_INF
+        _CAUSAL_BASES[width] = causal
+    mask = causal[np.newaxis] + attn_mask[:, np.newaxis, :]
+    pad_w, pad_i = np.nonzero(valid == 0.0)
+    mask[pad_w, pad_i, pad_i] = 0.0
+    return mask
+
 
 @dataclass
 class PackedBatch:
@@ -186,17 +270,7 @@ def pack_batch(
         pack.deep_relay_rows = np.asarray(relay_rows, np.int64)
         pack.deep_relays = relays
 
-        # Causal mask Θ (Eq. 6) plus key padding.  Padded *rows* would see
-        # only -inf (causal keeps j >= i, all of which are padding), which
-        # NaNs the softmax — let them attend to themselves instead: their
-        # packs are exactly zero, so the refined row stays zero and carries
-        # no gradient.
-        causal = np.zeros((width, width))
-        causal[np.tril_indices(width, k=-1)] = _NEG_INF
-        mask = causal[np.newaxis] + pack.deep_attn_mask[:, np.newaxis, :]
-        pad_w, pad_i = np.nonzero(valid == 0.0)
-        mask[pad_w, pad_i, pad_i] = 0.0
-        pack.deep_causal_mask = mask
+        pack.deep_causal_mask = deep_causal_mask(valid, pack.deep_attn_mask)
 
     # ---- dropout draws in per-node order -------------------------------
     wide_drop = deep_drop = hidden_drop = None

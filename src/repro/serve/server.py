@@ -120,6 +120,7 @@ class InferenceServer:
         registry: Optional[MetricsRegistry] = None,
         prometheus_path: Optional[str] = None,
         prometheus_interval: float = 10.0,
+        store=None,
     ) -> None:
         if classifier.graph is None:
             # A freshly loaded checkpoint: bind the serving graph (schema
@@ -171,7 +172,34 @@ class InferenceServer:
         self._prometheus_path = prometheus_path
         self._prometheus_interval = float(prometheus_interval)
         self._prometheus_last_flush = float("-inf")
+        # Optional materialized-aggregate tier (repro.store): consulted on
+        # cache misses before any sampling happens.
+        self.store = None
+        if store is not None:
+            self.attach_store(store)
         self._hook = graph.add_mutation_hook(self._on_graph_mutation)
+
+    def attach_store(self, store) -> None:
+        """Attach a materialized-aggregate store (``repro.store``).
+
+        The store is validated against the classifier's geometry, its
+        parameter digest and this server's seed — a mismatched store would
+        silently serve aggregates of a different model or rng scheme, so
+        incompatibility is a hard error, never a degraded mode.  Once
+        attached, cache misses whose store row is *fresh* (row version ==
+        the node's serving version) skip sampling and traversal entirely;
+        stale or absent rows fall back to full materialization, which also
+        refreshes the row in the store's overlay (lazy re-materialization).
+        """
+        if not self._identity_free:
+            raise ValueError(
+                "a materialized store needs an identity-free serving path "
+                f"(embed_for_serving); {self.classifier.name!r} has none"
+            )
+        reason = store.compatible_with(self.classifier, self.seed)
+        if reason is not None:
+            raise ValueError(f"store incompatible with this server: {reason}")
+        self.store = store
 
     @classmethod
     def from_checkpoint(
@@ -333,8 +361,37 @@ class InferenceServer:
         """The node's serving version: rng seed component and cache key."""
         return self._version_base + self._epoch + self._node_bumps.get(int(node), 0)
 
+    def metrics_registry_snapshot(self) -> MetricsRegistry:
+        """The registry's series plus point-in-time serving state.
+
+        Cumulative series are merged from the live registry *by payload*
+        (never mutated), then the snapshot-only series are layered on: the
+        :class:`EmbeddingCache` per-node hit distribution (a histogram the
+        cache keeps as raw counters, so re-observing it into a live
+        registry would double-count) and, when a store is attached, its
+        row/overlay gauges.  This is what the ``/metrics`` HTTP endpoint
+        and the textfile exposition both render.
+        """
+        merged = MetricsRegistry()
+        merged.merge_payload(self.telemetry.registry.to_payload())
+        merged.histogram("serve_cache_node_hits").observe_many(
+            float(count) for count in self.cache.node_hits.values()
+        )
+        merged.gauge("serve_cache_entries").set(len(self.cache))
+        if self.store is not None:
+            merged.gauge("serve_store_rows").set(self.store.num_rows)
+            merged.gauge("serve_store_row_bytes").set(self.store.row_nbytes)
+            merged.gauge("serve_store_overlay_rows").set(
+                self.store.overlay_size
+            )
+        return merged
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_registry_snapshot`."""
+        return self.metrics_registry_snapshot().render_prometheus()
+
     def flush_prometheus(self) -> Optional[int]:
-        """Write the registry's Prometheus rendering now (if a path is set).
+        """Write the Prometheus rendering now (if a path is set).
 
         Returns the sample-line count, or ``None`` when no ``prometheus_path``
         was configured.  The periodic hook on the request path calls this at
@@ -343,7 +400,9 @@ class InferenceServer:
         """
         if self._prometheus_path is None:
             return None
-        return self.telemetry.registry.write_prometheus(self._prometheus_path)
+        return self.metrics_registry_snapshot().write_prometheus(
+            self._prometheus_path
+        )
 
     def _maybe_flush_prometheus(self, now: float) -> None:
         if self._prometheus_path is None:
@@ -377,17 +436,40 @@ class InferenceServer:
                     frontier_size=int(len(frontier)),
                     dropped=dropped,
                     kept=len(self.cache),
+                    reason="frontier",
                 )
+                self._count_store_invalidations(frontier)
                 return
         # Coarse fallback: unknown mutation extent or identity-carrying
         # classifier — bump every node at once and drop the whole cache.
         self._epoch += 1
         dropped = self.cache.invalidate()
         self.telemetry.record_invalidation(
-            frontier_size=self.graph.num_nodes, dropped=dropped, kept=0
+            frontier_size=self.graph.num_nodes, dropped=dropped, kept=0,
+            reason="full",
         )
+        if self.store is not None:
+            self.telemetry.registry.counter(
+                "serve_store_invalidated_rows_total", reason="full"
+            ).inc(self.store.num_rows)
         if not self._identity_free and self.classifier.graph is graph:
             self.classifier.refresh_graph_caches()
+
+    def _count_store_invalidations(self, frontier) -> None:
+        """Count frontier nodes whose store rows just went stale.
+
+        The version bump *is* the invalidation (rows carry the version
+        they were materialized at; freshness is an equality check), so
+        this only keeps the books: how many materialized rows a mutation
+        knocked out, by reason, next to the cache-entry counters.
+        """
+        if self.store is None:
+            return
+        stale = sum(1 for node in frontier if self.store.has(int(node)))
+        if stale:
+            self.telemetry.registry.counter(
+                "serve_store_invalidated_rows_total", reason="frontier"
+            ).inc(stale)
 
     def close(self) -> None:
         """Detach from the graph (stop receiving mutation hooks)."""
@@ -427,6 +509,8 @@ class InferenceServer:
         misses happened to share the batch.
         """
         if self._identity_free:
+            if self.store is not None:
+                return self._compute_embeddings_with_store(nodes)
             rngs = [
                 np.random.default_rng([self.seed, self._version_of(node), int(node)])
                 for node in nodes
@@ -444,6 +528,61 @@ class InferenceServer:
                 ]
             )
         return self.classifier.embed(np.asarray(nodes), graph=self.graph)
+
+    def _compute_embeddings_with_store(self, nodes: List[int]) -> np.ndarray:
+        """Store-tier miss path: O(1) row lookups, attention + MLP only.
+
+        Each node's store row is *fresh* when its recorded version equals
+        the node's current serving version — the same counter that seeds
+        the recompute rng, so fresh rows hold exactly the packs a fresh
+        recompute would build and the answer is bit-identical.  Stale and
+        absent nodes are re-materialized with their current ``(seed,
+        version, node)`` rng (the full recompute, minus the attention that
+        now runs jointly with the hits) and written back into the store's
+        overlay, so the next miss on them is a hit again.
+        """
+        store = self.store
+        nodes_arr = np.asarray(nodes, np.int64)
+        want = np.array([self._version_of(node) for node in nodes], np.int64)
+        have = store.versions_of(nodes_arr)
+        fresh_mask = have == want
+        hit = int(fresh_mask.sum())
+        if hit == nodes_arr.size:
+            # All-hit fast path: one vectorized gather, no assembly buffer.
+            blocks, lengths = store.blocks_for(nodes_arr)
+        else:
+            fallback_positions = np.nonzero(~fresh_mask)[0]
+            total, dim = store.block_shape
+            blocks = np.zeros((nodes_arr.size, total, dim))
+            lengths = np.zeros(
+                (nodes_arr.size, 1 + int(store.meta["num_walks"])), np.int64
+            )
+            if hit:
+                hit_blocks, hit_lengths = store.blocks_for(
+                    nodes_arr[fresh_mask]
+                )
+                blocks[fresh_mask] = hit_blocks
+                lengths[fresh_mask] = hit_lengths
+            rngs = [
+                np.random.default_rng(
+                    [self.seed, int(want[position]), int(nodes_arr[position])]
+                )
+                for position in fallback_positions
+            ]
+            fresh_rows = self.classifier.materialize_store_rows(
+                nodes_arr[fallback_positions], self.graph, rngs
+            )
+            for position, row_set in zip(fallback_positions, fresh_rows):
+                store.refresh(
+                    int(nodes_arr[position]), int(want[position]), row_set
+                )
+                block, length_row = store.block_for(int(nodes_arr[position]))
+                blocks[position] = block
+                lengths[position] = length_row
+        stale = int(((~fresh_mask) & (have >= 0)).sum())
+        absent = int((have < 0).sum())
+        self.telemetry.record_store_lookup(hit=hit, stale=stale, absent=absent)
+        return self.classifier.embed_from_store_blocks(blocks, lengths)
 
     def reset_clock(self) -> None:
         """Forget the busy-until watermark (between independent replays)."""

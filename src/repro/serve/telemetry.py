@@ -60,6 +60,10 @@ class Telemetry:
     # One record per mutation-triggered invalidation: the k-hop frontier
     # size, how many resident entries it dropped and how many stayed warm.
     invalidation_records: List[Dict[str, int]] = field(default_factory=list)
+    # One record per store-consulted miss batch: how many nodes were served
+    # from fresh store rows vs found stale vs absent (both of the latter
+    # fall back to materialization).
+    store_lookups: List[Dict[str, int]] = field(default_factory=list)
     max_batch_size: int = 1
     registry: Optional[MetricsRegistry] = None
     # Attached EmbeddingCache (duck-typed); lets summary() surface the
@@ -68,6 +72,29 @@ class Telemetry:
 
     # -- recording ------------------------------------------------------
 
+    def __post_init__(self) -> None:
+        # Registry instruments are resolved once, not per record: the
+        # labeled lookup (sort labels, hash, dict probe) costs more than a
+        # counter increment and sits on the per-request hot path.
+        registry = self.registry
+        if registry is None:
+            self._latency_hist = None
+            return
+        self._latency_hist = registry.histogram("serve_latency_seconds")
+        self._requests_by_hit = {
+            True: registry.counter("serve_requests_total", cache="hit"),
+            False: registry.counter("serve_requests_total", cache="miss"),
+        }
+        self._batch_hist = registry.histogram("serve_batch_size")
+        self._compute_batch_hist = registry.histogram("serve_compute_batch_size")
+        self._queue_hist = registry.histogram("serve_queue_depth")
+        self._store_outcomes = {
+            outcome: registry.counter(
+                "serve_store_requests_total", outcome=outcome
+            )
+            for outcome in ("hit", "stale", "absent")
+        }
+
     def attach_cache(self, cache) -> None:
         """Expose an :class:`EmbeddingCache`'s per-node hit histogram in
         :meth:`summary` (the server attaches its cache at construction)."""
@@ -75,18 +102,14 @@ class Telemetry:
 
     def record_request(self, record: RequestRecord) -> None:
         self.requests.append(record)
-        registry = self.registry
-        if registry is not None:
-            registry.histogram("serve_latency_seconds").observe(record.latency)
-            registry.counter(
-                "serve_requests_total",
-                cache="hit" if record.cache_hit else "miss",
-            ).inc()
+        if self._latency_hist is not None:
+            self._latency_hist.observe(record.latency)
+            self._requests_by_hit[record.cache_hit].inc()
 
     def record_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
-        if self.registry is not None:
-            self.registry.histogram("serve_batch_size").observe(size)
+        if self._latency_hist is not None:
+            self._batch_hist.observe(size)
 
     def record_compute_batch(self, size: int) -> None:
         """One batched cache-miss computation of ``size`` embeddings.
@@ -96,16 +119,17 @@ class Telemetry:
         whether the vectorized compute path sees real batches or singletons.
         """
         self.compute_batch_sizes.append(size)
-        if self.registry is not None:
-            self.registry.histogram("serve_compute_batch_size").observe(size)
+        if self._latency_hist is not None:
+            self._compute_batch_hist.observe(size)
 
     def record_queue_depth(self, depth: int) -> None:
         self.queue_depths.append(depth)
-        if self.registry is not None:
-            self.registry.histogram("serve_queue_depth").observe(depth)
+        if self._latency_hist is not None:
+            self._queue_hist.observe(depth)
 
     def record_invalidation(
-        self, *, frontier_size: int, dropped: int, kept: int
+        self, *, frontier_size: int, dropped: int, kept: int,
+        reason: str = "full",
     ) -> None:
         """One mutation-triggered cache invalidation.
 
@@ -113,22 +137,48 @@ class Telemetry:
         covered (the whole graph on the coarse fallback path), ``dropped``
         how many resident cache entries it removed, ``kept`` how many stayed
         warm — the audit trail that fine-grained invalidation actually kept
-        the rest of the working set."""
+        the rest of the working set.  ``reason`` distinguishes the
+        fine-grained reverse-BFS path (``"frontier"``) from a coarse
+        whole-cache flush (``"full"``) in the registry series."""
+        if reason not in ("frontier", "full"):
+            raise ValueError(f"unknown invalidation reason {reason!r}")
         self.invalidation_records.append(
             {
                 "frontier_size": int(frontier_size),
                 "dropped": int(dropped),
                 "kept": int(kept),
+                "reason": reason,
             }
         )
         if self.registry is not None:
-            self.registry.counter("serve_invalidations_total").inc()
-            self.registry.counter("serve_invalidated_entries_total").inc(
-                max(0, int(dropped))
-            )
+            self.registry.counter(
+                "serve_invalidations_total", reason=reason
+            ).inc()
+            self.registry.counter(
+                "serve_invalidated_entries_total", reason=reason
+            ).inc(max(0, int(dropped)))
             self.registry.histogram("serve_invalidation_frontier").observe(
                 frontier_size
             )
+
+    def record_store_lookup(
+        self, *, hit: int = 0, stale: int = 0, absent: int = 0
+    ) -> None:
+        """One miss batch's store consultation (store-backed servers only).
+
+        ``hit`` nodes were served from fresh materialized rows, ``stale``
+        had rows invalidated by a mutation frontier, ``absent`` had no row
+        at all; stale + absent fall back to materialization (the full
+        recompute, which also refreshes the row in the overlay)."""
+        self.store_lookups.append(
+            {"hit": int(hit), "stale": int(stale), "absent": int(absent)}
+        )
+        if self._latency_hist is not None:
+            for outcome, count in (
+                ("hit", hit), ("stale", stale), ("absent", absent)
+            ):
+                if count:
+                    self._store_outcomes[outcome].inc(int(count))
 
     def reset(self) -> None:
         """Clear local records (e.g. between a warmup and a measured pass).
@@ -140,6 +190,7 @@ class Telemetry:
         self.compute_batch_sizes.clear()
         self.queue_depths.clear()
         self.invalidation_records.clear()
+        self.store_lookups.clear()
 
     # -- message-boundary serialization ---------------------------------
 
@@ -165,6 +216,7 @@ class Telemetry:
             "compute_batch_sizes": list(self.compute_batch_sizes),
             "queue_depths": list(self.queue_depths),
             "invalidation_records": [dict(r) for r in self.invalidation_records],
+            "store_lookups": [dict(r) for r in self.store_lookups],
             "max_batch_size": self.max_batch_size,
         }
 
@@ -196,6 +248,9 @@ class Telemetry:
         telemetry.queue_depths = [int(v) for v in payload["queue_depths"]]
         telemetry.invalidation_records = [
             dict(r) for r in payload["invalidation_records"]
+        ]
+        telemetry.store_lookups = [
+            dict(r) for r in payload.get("store_lookups", [])
         ]
         return telemetry
 
@@ -274,6 +329,17 @@ class Telemetry:
         stats["invalidation_kept_entries"] = float(
             sum(r["kept"] for r in self.invalidation_records)
         )
+        if self.store_lookups:
+            store_hits = sum(r["hit"] for r in self.store_lookups)
+            store_stale = sum(r["stale"] for r in self.store_lookups)
+            store_absent = sum(r["absent"] for r in self.store_lookups)
+            store_total = store_hits + store_stale + store_absent
+            stats["store_hits"] = float(store_hits)
+            stats["store_stale"] = float(store_stale)
+            stats["store_absent"] = float(store_absent)
+            stats["store_hit_rate"] = (
+                store_hits / store_total if store_total else 0.0
+            )
         if self.cache is not None and hasattr(self.cache, "node_hit_histogram"):
             node_hits = self.cache.node_hit_histogram()
             stats["cache_nodes_with_hits"] = node_hits.count
@@ -307,6 +373,13 @@ class Telemetry:
             f" (mean size {stats['compute_batch_mean']:.2f},"
             f" max {int(stats['compute_batch_max'])})",
         ]
+        if "store_hits" in stats:
+            lines.append(
+                f"store lookups     hit {int(stats['store_hits'])}"
+                f" / stale {int(stats['store_stale'])}"
+                f" / absent {int(stats['store_absent'])}"
+                f" (hit rate {stats['store_hit_rate'] * 100:.1f}%)"
+            )
         if "cache_nodes_with_hits" in stats:
             lines.append(
                 f"cache node hits   {int(stats['cache_nodes_with_hits'])} nodes"

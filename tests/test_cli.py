@@ -155,3 +155,42 @@ class TestServeClusterCli:
         assert "thread transport" in printed
         assert "metrics endpoint live at http://127.0.0.1:" in printed
         assert "cluster, warm cache" in printed
+
+
+class TestStoreCli:
+    def test_store_build_then_serve_bench(self, capsys, tmp_path):
+        store_dir = tmp_path / "acm-store"
+        assert main([
+            "store-build", "acm", "--scale", "0.3", "--epochs", "1",
+            "--out", str(store_dir),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "materialized" in printed
+        assert "params digest" in printed
+        assert (store_dir / "meta.json").exists()
+        assert (store_dir / "rows.npy").exists()
+
+        # Same dataset/seed/epochs/scale reproduce the same parameters, so
+        # the trained-in-place serve-bench accepts the store's digest.
+        assert main([
+            "serve-bench", "--dataset", "acm", "--scale", "0.3",
+            "--epochs", "1", "--requests", "40", "--store", str(store_dir),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "materialized rows from" in printed
+        assert "store lookups" in printed
+
+    def test_serve_cluster_accepts_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "acm-store"
+        assert main([
+            "store-build", "acm", "--scale", "0.3", "--epochs", "1",
+            "--out", str(store_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve-cluster", "acm", "--smoke", "--shards", "2",
+            "--store", str(store_dir),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "store" in printed
+        assert "cluster, warm cache" in printed
