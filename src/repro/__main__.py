@@ -31,6 +31,16 @@ Commands
     ``serve-bench --store DIR`` and ``serve-cluster --store DIR`` then
     serve cache misses from the store — attention + MLP only, no
     sampling — falling back to full recompute for stale/absent rows.
+``trace [dataset] [--shards K] [--transport T] [--smoke] ...``
+    Run a traced workload through the cluster's scatter-gather path with
+    distributed tracing and SLO monitoring on (:mod:`repro.obs.dist` /
+    :mod:`repro.obs.slo`): writes a stitched Chrome/Perfetto trace with
+    router and per-shard process lanes (``--dist-trace-out``), a
+    rolling-window SLO report with error budget and slow-request exemplars
+    (``--slo-out``), and one attribution record per request — queue-wait
+    vs compute, serving-ladder rung counts — as JSONL
+    (``--attribution-out``).  Non-zero exit if any request's rung counts
+    fail to sum to its node count.
 ``tune-scatter [--repeats N] [--tuning-out F]``
     Micro-sweep the scatter-add backend crossovers on this machine and
     print the ``REPRO_SCATTER_*`` environment settings they imply.
@@ -392,6 +402,110 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.cluster import ClusterRouter
+    from repro.core import WidenClassifier
+    from repro.datasets import make_dataset
+    from repro.obs import SLOTarget
+    from repro.serve import ModelRegistry, make_trace
+
+    if args.smoke:
+        args.scale = min(args.scale, 0.3)
+        args.epochs = min(args.epochs, 1)
+        args.requests = min(args.requests, 48)
+    dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
+    model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
+    model.fit(dataset.graph, dataset.split.train, epochs=args.epochs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-registry-") as root:
+        registry = ModelRegistry(root)
+        path = registry.save(f"widen-{dataset.name}", model)
+        router = ClusterRouter.from_checkpoint(
+            path, dataset.graph, args.shards,
+            transport=args.transport,
+            max_batch_size=args.batch_size, max_wait=args.max_wait,
+            cache_capacity=args.cache_capacity, seed=args.seed,
+            partition_seed=args.seed,
+            store_path=args.store or None,
+            dist_tracing=True,
+            slo_target=SLOTarget(
+                latency_threshold=args.slo_threshold,
+                objective=args.slo_objective,
+            ),
+        )
+        endpoint = _maybe_serve_metrics(args, router.render_prometheus)
+        print(f"tracing {args.requests} requests over {args.shards} shards "
+              f"({args.transport} transport), scatter groups of {args.group}")
+
+        # The workload goes through the traced request path (embed), not
+        # replay: every scatter group becomes one trace id with router +
+        # shard spans, and two passes show the cold->warm rung shift.
+        trace = make_trace(
+            dataset.split.test, args.requests, rate=args.rate,
+            zipf_exponent=args.zipf, rng=args.seed,
+        )
+        nodes = np.asarray([event.node for event in trace], dtype=np.int64)
+        for _ in range(2):
+            for start in range(0, nodes.size, args.group):
+                router.embed(nodes[start:start + args.group])
+
+        records = router.attribution_records()
+        mismatched = sum(
+            1 for r in records if sum(r["rungs"].values()) != r["nodes"]
+        )
+        total_nodes = sum(r["nodes"] for r in records)
+        rung_totals: dict = {}
+        for record in records:
+            for rung, count in record["rungs"].items():
+                rung_totals[rung] = rung_totals.get(rung, 0) + count
+        queue_mean = (
+            sum(r["queue_wait_s"] for r in records) / len(records)
+            if records else 0.0
+        )
+        compute_mean = (
+            sum(r["compute_s"] for r in records) / len(records)
+            if records else 0.0
+        )
+        print(f"\nattribution: {len(records)} requests, {total_nodes} nodes "
+              f"({mismatched} rung-count mismatches)")
+        print("rung mix          "
+              + " / ".join(f"{k} {v}" for k, v in sorted(rung_totals.items())))
+        print(f"queue/compute     {queue_mean * 1e3:.3f} / "
+              f"{compute_mean * 1e3:.3f} ms (mean, critical path)")
+
+        slo = router.slo_report()
+        print(f"SLO               p50 {slo['p50_s'] * 1e3:.3f} ms, "
+              f"p95 {slo['p95_s'] * 1e3:.3f} ms, "
+              f"p99 {slo['p99_s'] * 1e3:.3f} ms")
+        print(f"                  compliance {slo['compliance'] * 100:.1f}% "
+              f"vs objective {slo['target']['objective'] * 100:.1f}% "
+              f"(burn rate {slo['burn_rate']:.2f})")
+
+        events = router.write_dist_trace(args.dist_trace_out)
+        pids = {
+            e["pid"] for e in json.load(open(args.dist_trace_out))["traceEvents"]
+        }
+        print(f"\nwrote {events} trace events ({len(pids)} process lanes) "
+              f"to {args.dist_trace_out}")
+        with open(args.slo_out, "w") as handle:
+            json.dump(slo, handle, indent=2)
+        print(f"wrote SLO report to {args.slo_out}")
+        with open(args.attribution_out, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        print(f"wrote {len(records)} attribution records to "
+              f"{args.attribution_out}")
+        if endpoint is not None:
+            endpoint.close()
+        router.close()
+    _maybe_dump_metrics(args)
+    return 1 if mismatched else 0
+
+
 def _cmd_tune_scatter(args: argparse.Namespace) -> int:
     import json
 
@@ -413,7 +527,7 @@ def main(argv=None) -> int:
         "command",
         choices=(
             "stats", "train", "compare", "serve-bench", "serve-cluster",
-            "store-build", "profile", "tune-scatter",
+            "store-build", "profile", "tune-scatter", "trace",
         ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
@@ -473,6 +587,20 @@ def main(argv=None) -> int:
     store.add_argument("--checkpoint", default=None,
                        help="store-build: materialize from this checkpoint "
                             "instead of training fresh")
+    dist = parser.add_argument_group("trace")
+    dist.add_argument("--group", type=int, default=8,
+                      help="trace: nodes per scatter-gather request")
+    dist.add_argument("--slo-threshold", type=float, default=0.050,
+                      help="trace: SLO latency threshold, seconds")
+    dist.add_argument("--slo-objective", type=float, default=0.99,
+                      help="trace: fraction of requests that must meet the "
+                           "threshold")
+    dist.add_argument("--dist-trace-out", default="dist_trace.json",
+                      help="trace: stitched Chrome/Perfetto trace output path")
+    dist.add_argument("--slo-out", default="slo_report.json",
+                      help="trace: SLO report JSON output path")
+    dist.add_argument("--attribution-out", default="attribution.jsonl",
+                      help="trace: per-request attribution JSONL output path")
     tune = parser.add_argument_group("tune-scatter")
     tune.add_argument("--repeats", type=int, default=30,
                       help="timing repeats per backend per shape (median)")
@@ -491,6 +619,7 @@ def main(argv=None) -> int:
         "store-build": _cmd_store_build,
         "profile": _cmd_profile,
         "tune-scatter": _cmd_tune_scatter,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

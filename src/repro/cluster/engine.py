@@ -25,6 +25,9 @@ Envelope kinds:
   barrier between the serve envelopes around it.
 - ``telemetry`` / ``metrics`` / ``serving_state`` — snapshot pulls, all
   answered as plain payloads (the obs layer's serializable forms).
+- ``clock`` — a clock-alignment probe (raw ``perf_counter`` + pid) used by
+  the distributed tracer to map this process's span timestamps onto the
+  router's timeline.
 - ``reset`` — clear telemetry + the logical clock (between replay passes).
 - ``shutdown`` — detach the server; the transport tears the channel down.
 
@@ -35,13 +38,17 @@ router's gather.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cluster.planner import ShardSpec
 from repro.cluster.transport import Envelope, Reply, error_info
+from repro.obs.dist import spans_to_wire
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, set_thread_tracer
 from repro.serve.server import InferenceServer
 
 
@@ -120,13 +127,71 @@ class ShardEngine:
     # ------------------------------------------------------------------
 
     def handle(self, envelope: Envelope) -> Reply:
+        # The untraced path pays exactly one attribute check here.
+        if envelope.trace_ctx is not None:
+            return self._handle_traced(envelope)
         try:
             handler = getattr(self, f"_handle_{envelope.kind}", None)
             if handler is None:
                 raise ValueError(f"unknown envelope kind {envelope.kind!r}")
             return Reply(seq=envelope.seq, ok=True, payload=handler(envelope.payload))
         except Exception as exc:
+            self._count_error(envelope.kind)
             return Reply(seq=envelope.seq, ok=False, error=error_info(exc))
+
+    def _handle_traced(self, envelope: Envelope) -> Reply:
+        """Dispatch one envelope under a private per-envelope tracer.
+
+        The tracer is installed as *this thread's* override (never the
+        process-wide tracer — concurrent shard threads would
+        cross-contaminate buffers), rooted in a span that echoes the
+        router's trace id and send timestamp so the stitcher can bridge
+        the queue+wire gap.  The span buffer rides the reply — error
+        replies included, so a raising engine's trace survives.
+        """
+        ctx = envelope.trace_ctx
+        tracer = Tracer(enabled=True)
+        previous = set_thread_tracer(tracer)
+        try:
+            with tracer.span(
+                f"shard.{envelope.kind}",
+                trace_id=ctx.get("trace_id"),
+                send_ts=ctx.get("send_ts"),
+                shard=self.spec.shard_id,
+            ):
+                try:
+                    handler = getattr(self, f"_handle_{envelope.kind}", None)
+                    if handler is None:
+                        raise ValueError(
+                            f"unknown envelope kind {envelope.kind!r}"
+                        )
+                    payload = handler(envelope.payload)
+                    error = None
+                except Exception as exc:
+                    payload = None
+                    error = error_info(exc)
+        finally:
+            set_thread_tracer(previous)
+        trace = {
+            "shard": int(self.spec.shard_id),
+            "pid": os.getpid(),
+            "spans": spans_to_wire(tracer),
+        }
+        if error is not None:
+            self._count_error(envelope.kind)
+            return Reply(
+                seq=envelope.seq, ok=False, error=error, trace=trace
+            )
+        return Reply(seq=envelope.seq, ok=True, payload=payload, trace=trace)
+
+    def _count_error(self, kind: str) -> None:
+        """Error replies are observable: ``shard_errors_total{kind=...}``."""
+        try:
+            self.server.telemetry.registry.counter(
+                "shard_errors_total", kind=kind
+            ).inc()
+        except Exception:
+            pass  # a broken registry must not mask the original error
 
     # ------------------------------------------------------------------
     # Handlers
@@ -152,8 +217,14 @@ class ShardEngine:
             if request_id is None:
                 continue
             try:
-                value = self.server.result(request_id).value
-                items[position] = {"ok": True, "value": value}
+                result = self.server.result(request_id)
+                items[position] = {
+                    "ok": True,
+                    "value": result.value,
+                    "rung": result.rung,
+                    "queue_wait": result.queue_wait,
+                    "compute": result.compute,
+                }
             except Exception as exc:
                 items[position] = {"ok": False, "error": error_info(exc)}
         return {"items": items}
@@ -196,6 +267,15 @@ class ShardEngine:
 
     def _handle_serving_state(self, payload: Dict[str, object]) -> Dict[str, object]:
         return {"serving_state": self.server.export_serving_state()}
+
+    def _handle_clock(self, payload: Dict[str, object]) -> Dict[str, object]:
+        # Clock-alignment probe: the raw monotonic reading this process's
+        # span timestamps are measured on (see repro.obs.dist.clock_handshake).
+        return {
+            "mono": time.perf_counter(),
+            "wall": time.time(),
+            "pid": os.getpid(),
+        }
 
     def _handle_reset(self, payload: Dict[str, object]) -> Dict[str, object]:
         self.server.telemetry.reset()

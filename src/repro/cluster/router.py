@@ -58,7 +58,10 @@ from repro.cluster.transport import (
 )
 from repro.cluster.worker import ShardWorker
 from repro.graph import HeteroGraph
+from repro.obs.dist import DistTracer, clock_handshake, make_trace_ctx
 from repro.obs.metrics import MetricsRegistry, nearest_rank_percentile
+from repro.obs.slo import AttributionRecord, SLOMonitor, SLOTarget, SlowRequestLog
+from repro.obs.tracing import _NULL_SPAN as _NULL_CTX
 from repro.serve.server import load_checkpoint_classifier, serving_reach_of
 
 _MODE_ALIASES = {"sync": "inline", "thread": "thread"}
@@ -96,6 +99,9 @@ class ClusterRouter:
         prometheus_path: Optional[str] = None,
         prometheus_interval: float = 10.0,
         store_path: Optional[str] = None,
+        dist_tracing: bool = False,
+        slo_target: Optional[SLOTarget] = None,
+        slow_log_capacity: int = 16,
     ) -> None:
         if transport is None:
             transport = _MODE_ALIASES.get(mode, "thread") if mode else "thread"
@@ -184,6 +190,18 @@ class ClusterRouter:
         for worker in self.workers:
             worker.wait_ready(start_timeout)
         self._closed = False
+        # Request-lifecycle observability, both off by default — the guard
+        # in _scatter_gather is a pair of ``is None`` checks, so the
+        # disabled path stays the hot path.
+        self.dist: Optional[DistTracer] = None
+        self.slo_monitor: Optional[SLOMonitor] = None
+        self.slow_log: Optional[SlowRequestLog] = None
+        self.attributions: List[AttributionRecord] = []
+        self._slow_log_capacity = int(slow_log_capacity)
+        if dist_tracing:
+            self.enable_dist_tracing()
+        if slo_target is not None:
+            self.enable_slo(slo_target)
 
     @staticmethod
     def _make_transport(
@@ -279,6 +297,10 @@ class ClusterRouter:
     def _scatter_gather(self, nodes, kind: str, now: Optional[float]) -> np.ndarray:
         self._check_open()
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        # Observability guard: two attribute reads and two None checks on
+        # the disabled path — no timestamps, no allocations, no records.
+        if self.dist is not None or self.slo_monitor is not None:
+            return self._scatter_gather_observed(nodes, kind, now)
         groups: Dict[int, List[int]] = {}
         for position, node in enumerate(nodes):
             shard = self.plan.owner(int(node))
@@ -303,6 +325,123 @@ class ClusterRouter:
             return np.stack(results)
         return np.asarray(results)
 
+    def _scatter_gather_observed(
+        self, nodes: np.ndarray, kind: str, now: Optional[float]
+    ) -> np.ndarray:
+        """The traced/monitored twin of :meth:`_scatter_gather`.
+
+        Same scatter, same gather, same stitch — plus: a ``trace_ctx`` on
+        every envelope (the engines root private span buffers and ship
+        them back on replies), router-side spans around scatter and each
+        shard's gather, and one :class:`AttributionRecord` per request —
+        queue-wait vs compute on the critical path (max across shards, a
+        scatter is as slow as its slowest leg) and per-rung node counts
+        that sum to the node count.  Failures are attributed too
+        (``ok=False`` burns SLO budget), then re-raised unchanged.
+        """
+        dist = self.dist
+        slo = self.slo_monitor
+        trace_id = dist.new_trace_id() if dist is not None else f"u{id(nodes):x}"
+        start = time.perf_counter()
+        root = dist.tracer.span(
+            "router.serve", trace_id=trace_id, nodes=int(nodes.size), kind=kind
+        ) if dist is not None else None
+        error: Optional[BaseException] = None
+        rungs: Dict[str, int] = {}
+        queue_wait = 0.0
+        compute = 0.0
+        groups: Dict[int, List[int]] = {}
+        results: List[Optional[object]] = [None] * nodes.size
+        try:
+            if root is not None:
+                root.__enter__()
+            for position, node in enumerate(nodes):
+                shard = self.plan.owner(int(node))
+                self._count_routed(shard, int(node))
+                groups.setdefault(shard, []).append(position)
+            self._maybe_flush_prometheus()
+            pending: List[Tuple[int, List[int], object]] = []
+            for shard, positions in groups.items():
+                ctx = make_trace_ctx(trace_id) if dist is not None else None
+                span = (
+                    dist.tracer.span(f"router.scatter.shard{shard}")
+                    if dist is not None
+                    else _NULL_CTX
+                )
+                with span:
+                    reply = self.workers[shard].submit_serve(
+                        nodes[positions], kind, now=now, trace_ctx=ctx
+                    )
+                pending.append((shard, positions, reply))
+            for shard, positions, reply in pending:
+                span = (
+                    dist.tracer.span(f"router.gather.shard{shard}")
+                    if dist is not None
+                    else _NULL_CTX
+                )
+                with span:
+                    items = self._gather_serve(reply, dist)
+                shard_queue = 0.0
+                shard_compute = 0.0
+                for position, item in zip(positions, items):
+                    results[position] = item["value"]
+                    rung = item.get("rung", "recompute")
+                    rungs[rung] = rungs.get(rung, 0) + 1
+                    shard_queue = max(shard_queue, item.get("queue_wait", 0.0))
+                    shard_compute = max(shard_compute, item.get("compute", 0.0))
+                queue_wait = max(queue_wait, shard_queue)
+                compute = max(compute, shard_compute)
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            if root is not None:
+                root.__exit__(None, None, None)
+            latency = time.perf_counter() - start
+            record = AttributionRecord(
+                trace_id=trace_id,
+                nodes=int(nodes.size),
+                shards=len(groups) if groups else 0,
+                latency=latency,
+                queue_wait=queue_wait,
+                compute=compute,
+                rungs=rungs,
+                ok=error is None,
+                error=None if error is None else type(error).__name__,
+            )
+            self.attributions.append(record)
+            if slo is not None:
+                slo.observe(latency, ok=error is None)
+            if self.slow_log is not None:
+                self.slow_log.observe(record)
+        if kind == "embed":
+            return np.stack(results)
+        return np.asarray(results)
+
+    def _gather_serve(self, reply, dist: Optional[DistTracer]) -> List[dict]:
+        """Gather one serve reply, harvesting its piggybacked span buffer.
+
+        Uses ``reply.wait()`` (not ``result()``) so the shard's trace rides
+        error replies too — a raising engine's spans reach the stitched
+        trace *before* the :class:`ShardError` propagates.
+        """
+        from repro.cluster.transport import ShardError
+
+        raw = reply.wait(self.request_timeout)
+        if dist is not None and raw.trace is not None:
+            dist.add_reply_trace(raw.trace)
+            self.registry.counter("trace_spans_total").inc(
+                len(raw.trace.get("spans", []))
+            )
+        if not raw.ok:
+            raise ShardError(reply.shard_id, raw.error or {})
+        items = []
+        for item in raw.payload["items"]:
+            if not item["ok"]:
+                raise ShardError(reply.shard_id, item["error"])
+            items.append(item)
+        return items
+
     def _count_routed(self, shard: int, node: int) -> None:
         worker = self.workers[shard]
         worker.requests_routed += 1
@@ -314,6 +453,65 @@ class ClusterRouter:
             self.registry.counter(
                 "cluster_halo_requests_total", shard=str(shard)
             ).inc()
+
+    # ------------------------------------------------------------------
+    # Distributed tracing + SLO monitoring (repro.obs.dist / .slo)
+    # ------------------------------------------------------------------
+
+    def enable_dist_tracing(self, *, clock_samples: int = 5) -> DistTracer:
+        """Turn on cross-shard tracing for subsequent requests.
+
+        Runs the clock-alignment handshake against every shard first
+        (min-RTT NTP-style probes over the ``clock`` envelope), so spans
+        from ``mp`` workers — whose ``perf_counter`` epochs share nothing
+        with ours — land correctly on the router timeline at stitch time.
+        """
+        self._check_open()
+        if self.dist is None:
+            self.dist = DistTracer()
+        for worker in self.workers:
+            clock = clock_handshake(
+                worker.clock_probe,
+                shard_id=worker.spec.shard_id,
+                samples=clock_samples,
+            )
+            self.dist.register_clock(clock)
+        return self.dist
+
+    def enable_slo(
+        self,
+        target: Optional[SLOTarget] = None,
+        *,
+        slow_log_capacity: Optional[int] = None,
+    ) -> SLOMonitor:
+        """Attach a rolling-window SLO monitor + slow-request log."""
+        self.slo_monitor = SLOMonitor(target)
+        self.slow_log = SlowRequestLog(
+            slow_log_capacity
+            if slow_log_capacity is not None
+            else self._slow_log_capacity
+        )
+        return self.slo_monitor
+
+    def write_dist_trace(self, path) -> int:
+        """Write the stitched Chrome trace; returns the event count."""
+        if self.dist is None:
+            raise RuntimeError("distributed tracing is not enabled")
+        return self.dist.write_chrome_trace(path)
+
+    def slo_report(self) -> Dict[str, object]:
+        """The SLO monitor's windowed report plus the slow-request log."""
+        if self.slo_monitor is None:
+            raise RuntimeError("SLO monitoring is not enabled")
+        report = self.slo_monitor.report()
+        report["slow_requests"] = (
+            self.slow_log.to_records() if self.slow_log is not None else []
+        )
+        return report
+
+    def attribution_records(self) -> List[Dict[str, object]]:
+        """Every observed request's attribution, in request order."""
+        return [record.to_record() for record in self.attributions]
 
     # ------------------------------------------------------------------
     # Streaming mutation fan-out
@@ -501,6 +699,17 @@ class ClusterRouter:
             merged.merge_payload(
                 payload["registry"], extra_labels={"shard": str(shard_id)}
             )
+        if self.slo_monitor is not None:
+            report = self.slo_monitor.report()
+            merged.gauge("slo_window_requests").set(report["window_count"])
+            merged.gauge("slo_error_budget_remaining").set(
+                report["error_budget_remaining"]
+            )
+            merged.gauge("slo_burn_rate").set(report["burn_rate"])
+            for q in ("p50", "p95", "p99"):
+                merged.gauge("slo_latency_seconds", quantile=q).set(
+                    report[f"{q}_s"]
+                )
         return merged
 
     def render_prometheus(self) -> str:

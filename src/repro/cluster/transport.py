@@ -71,6 +71,7 @@ ENVELOPE_KINDS = (
     "telemetry",
     "metrics",
     "serving_state",
+    "clock",
     "reset",
     "shutdown",
 )
@@ -82,11 +83,18 @@ READY_SEQ = -1
 
 @dataclass
 class Envelope:
-    """One typed message from the router to a shard engine."""
+    """One typed message from the router to a shard engine.
+
+    ``trace_ctx`` is the distributed-tracing context (trace id, parent
+    span, router send timestamp — see :func:`repro.obs.dist.make_trace_ctx`).
+    ``None`` means untraced and is the default: the engine's check for it
+    is a single attribute read, keeping the disabled path the hot path.
+    """
 
     kind: str
     payload: dict = field(default_factory=dict)
     seq: int = -1  # assigned by the transport at send time
+    trace_ctx: Optional[dict] = None
 
 
 @dataclass
@@ -95,12 +103,16 @@ class Reply:
 
     ``ok=False`` carries ``error = {"type", "message", "traceback"}`` —
     failures are data on the wire, raised only at :meth:`PendingReply.result`.
+    ``trace`` piggybacks the shard's span buffer for a traced envelope
+    (``{"shard", "pid", "spans"}``); it rides error replies too, so a
+    raising engine's trace data still reaches the router.
     """
 
     seq: int
     ok: bool
     payload: object = None
     error: Optional[Dict[str, str]] = None
+    trace: Optional[dict] = None
 
 
 def error_info(exc: BaseException) -> Dict[str, str]:

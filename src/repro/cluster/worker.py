@@ -82,17 +82,27 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def submit_serve(
-        self, nodes, kind: str, now: Optional[float] = None
+        self,
+        nodes,
+        kind: str,
+        now: Optional[float] = None,
+        trace_ctx: Optional[dict] = None,
     ) -> PendingReply:
         """One serve envelope for a group of nodes; gather later.
 
         The whole group reaches the engine in one envelope, so the server's
         micro-batcher sees it at once — concurrent scatter legs coalesce
-        into real batches instead of singletons.
+        into real batches instead of singletons.  ``trace_ctx`` (when the
+        router is tracing) makes the engine root a private span buffer for
+        this envelope and ship it back on the reply.
         """
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         return self.transport.send(
-            Envelope(kind="serve", payload={"nodes": nodes, "kind": kind, "now": now})
+            Envelope(
+                kind="serve",
+                payload={"nodes": nodes, "kind": kind, "now": now},
+                trace_ctx=trace_ctx,
+            )
         )
 
     def request(
@@ -143,6 +153,15 @@ class ShardWorker:
 
     def pull_serving_state(self) -> PendingReply:
         return self.transport.send(Envelope(kind="serving_state"))
+
+    def clock_probe(self) -> dict:
+        """One synchronous clock-alignment probe (see ``repro.obs.dist``).
+
+        Blocking on purpose: the handshake's offset math needs the caller's
+        clock readings to bracket the engine's, so there is nothing to
+        overlap.
+        """
+        return self.transport.send(Envelope(kind="clock")).result()
 
     def reset(self) -> PendingReply:
         pending = self.transport.send(Envelope(kind="reset"))

@@ -20,8 +20,20 @@ One pipeline for everything the efficiency claims rest on:
   for scrape-based collection; registries also serialize
   (``to_payload``/``merge_payload``) so per-process instances aggregate
   across the cluster's shard boundary.
+- :class:`DistTracer` + :class:`SLOMonitor` (``repro.obs.dist`` /
+  ``repro.obs.slo``) — cross-shard distributed tracing with clock-offset
+  alignment and stitched Chrome traces, request-lifecycle attribution
+  (queue-wait vs compute, serving-ladder rung counts), rolling-window SLO
+  compliance with error budgets, and a bounded slow-request log.
 """
 
+from repro.obs.dist import (
+    DistTracer,
+    ShardClock,
+    clock_handshake,
+    make_trace_ctx,
+    spans_to_wire,
+)
 from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer
 from repro.obs.metrics import (
     Counter,
@@ -33,8 +45,22 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profiler import OpProfiler, OpStat
+from repro.obs.slo import (
+    RUNGS,
+    AttributionRecord,
+    SLOMonitor,
+    SLOTarget,
+    SlowRequestLog,
+)
 from repro.obs.timing import Timer, time_call
-from repro.obs.tracing import SpanRecord, Tracer, get_tracer, set_tracer, span
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_thread_tracer,
+    set_tracer,
+    span,
+)
 
 __all__ = [
     "MetricsHTTPServer",
@@ -54,5 +80,16 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "span",
+    "DistTracer",
+    "ShardClock",
+    "clock_handshake",
+    "make_trace_ctx",
+    "spans_to_wire",
+    "RUNGS",
+    "AttributionRecord",
+    "SLOMonitor",
+    "SLOTarget",
+    "SlowRequestLog",
 ]

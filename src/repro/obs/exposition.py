@@ -10,16 +10,18 @@ flush scheduling; the existing textfile-collector path
 (``write_prometheus``) remains for push-style setups.
 
 Scope on purpose: GET ``/metrics`` (and ``/``, for browsers) returns 200
-with ``text/plain; version=0.0.4``; everything else is 404.  No TLS, no
-auth — this binds loopback by default and is an observability surface, not
-an API.
+with ``text/plain; version=0.0.4``; everything else is 404.  Callers may
+register extra read-only JSON routes (``routes={"/slo": monitor.report}``)
+for sibling observability surfaces like the SLO report.  No TLS, no auth —
+this binds loopback by default and is an observability surface, not an API.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
+from typing import Callable, Dict, Optional
 
 __all__ = ["MetricsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
 
@@ -40,14 +42,34 @@ class MetricsHTTPServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        routes: Optional[Dict[str, Callable[[], object]]] = None,
     ) -> None:
         self._render = render
+        # Extra GET routes: path -> callable returning a JSON-serializable
+        # object (rendered fresh per request, like the exposition).
+        self._routes = dict(routes or {})
 
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
+            def _send(self, body: bytes, content_type: str) -> None:
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
             def do_GET(self) -> None:  # noqa: N802 (http.server convention)
-                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                path = self.path.split("?", 1)[0]
+                if path in outer._routes:
+                    try:
+                        body = json.dumps(outer._routes[path]()).encode("utf-8")
+                    except Exception as exc:
+                        self.send_error(500, f"route failed: {exc}")
+                        return
+                    self._send(body, "application/json; charset=utf-8")
+                    return
+                if path not in ("/metrics", "/"):
                     self.send_error(404, "only /metrics lives here")
                     return
                 try:
@@ -55,11 +77,7 @@ class MetricsHTTPServer:
                 except Exception as exc:  # a broken renderer must not kill the thread
                     self.send_error(500, f"render failed: {exc}")
                     return
-                self.send_response(200)
-                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                self._send(body, PROMETHEUS_CONTENT_TYPE)
 
             def log_message(self, *args) -> None:
                 pass  # scrapes are not stdout events

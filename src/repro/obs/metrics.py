@@ -59,10 +59,49 @@ def _prom_labels(labels: Dict[str, object], extra: Optional[Dict[str, str]] = No
         return ""
     rendered = []
     for key, value in pairs:
-        key = key if _PROM_LABEL_OK.fullmatch(key) else re.sub(r"[^a-zA-Z0-9_]", "_", key)
+        if not _PROM_LABEL_OK.fullmatch(key):
+            key = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+            if not re.match(r"[a-zA-Z_]", key):
+                key = "_" + key  # label names may not start with a digit
+        # Exposition-format escaping; backslash first so the others stay literal.
         value = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
         rendered.append(f'{key}="{value}"')
     return "{" + ",".join(rendered) + "}"
+
+
+def _prom_help(text: str) -> str:
+    """HELP-line escaping: only backslash and newline (quotes stay literal)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+# Help text for well-known metric names, applied when a registry has no
+# per-name override (MetricsRegistry.describe).  Kept here so every
+# registry — router-scope, per-shard, test-private — exposes the same docs.
+DEFAULT_HELP: Dict[str, str] = {
+    "serve_latency_seconds": "End-to-end serve latency per request.",
+    "serve_requests_total": "Serve requests by cache outcome.",
+    "serve_batch_size": "Submitted batch sizes (including cache hits).",
+    "serve_compute_batch_size": "Batch sizes that reached the model.",
+    "serve_queue_depth": "Pending queue depth sampled at submit.",
+    "serve_invalidation_frontier": "Nodes invalidated per mutation frontier.",
+    "serve_cache_node_hits": "Per-node embedding-cache hit counts.",
+    "serve_cache_entries": "Live embedding-cache entries.",
+    "serve_rung_total": "Nodes served by ladder rung (cache/store/overlay/recompute).",
+    "serve_queue_wait_seconds": "Queue wait (submit to flush) per computed request.",
+    "serve_compute_seconds": "Compute time (flush to completion) per request.",
+    "shard_errors_total": "Engine envelopes that became error replies, by kind.",
+    "cluster_requests_total": "Scatter-gather requests issued by the router.",
+    "slo_window_requests": "Requests inside the rolling SLO window.",
+    "slo_error_budget_remaining": "Fraction of the SLO error budget left (1 = untouched).",
+    "slo_burn_rate": "Error-budget burn rate (1 = sustainable).",
+    "trace_spans_total": "Spans collected by the distributed tracer.",
+    "store_rows": "Materialized rows in the aggregate store.",
+    "store_row_bytes": "Bytes per materialized store row.",
+    "store_bytes_total": "Total bytes across store row blocks.",
+    "store_build_seconds": "Wall-clock time of the last store build.",
+    "op_calls": "Tensor-op invocations by op name.",
+    "op_flops": "Estimated FLOPs by op name.",
+}
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -248,6 +287,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._series: Dict[Tuple[str, LabelKey], object] = {}
         self._kinds: Dict[str, type] = {}
+        self._help: Dict[str, str] = {}
         self.events: List[Dict[str, object]] = []
 
     # -- instruments ----------------------------------------------------
@@ -276,6 +316,15 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get_or_create(Histogram, name, labels)
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to a metric name (overrides DEFAULT_HELP)."""
+        with self._lock:
+            self._help[name] = str(help_text)
+
+    def help_for(self, name: str) -> Optional[str]:
+        """Effective help text for a name (explicit first, then defaults)."""
+        return self._help.get(name, DEFAULT_HELP.get(name))
 
     def series(self) -> List[object]:
         """All registered instruments, in registration order."""
@@ -322,6 +371,7 @@ class MetricsRegistry:
         with self._lock:
             instruments = list(self._series.values())
             events = [dict(event) for event in self.events]
+            help_texts = dict(self._help)
         series = []
         for instrument in instruments:
             entry: Dict[str, object] = {
@@ -338,7 +388,7 @@ class MetricsRegistry:
                 entry["kind"] = "histogram"
                 entry["values"] = list(instrument._values)
             series.append(entry)
-        return {"series": series, "events": events}
+        return {"series": series, "events": events, "help": help_texts}
 
     def merge_payload(
         self,
@@ -354,6 +404,9 @@ class MetricsRegistry:
         observations.
         """
         extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for name, text in payload.get("help", {}).items():
+            with self._lock:
+                self._help.setdefault(name, text)
         for entry in payload["series"]:
             labels = {**entry["labels"], **extra}
             if entry["kind"] == "counter":
@@ -409,6 +462,9 @@ class MetricsRegistry:
             group = by_name[name]
             prom = _prom_name(name)
             kind = type(group[0])
+            help_text = self.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {prom} {_prom_help(help_text)}")
             if kind is Counter:
                 lines.append(f"# TYPE {prom} counter")
                 for c in group:
@@ -467,6 +523,7 @@ class MetricsRegistry:
         with self._lock:
             self._series.clear()
             self._kinds.clear()
+            self._help.clear()
             self.events.clear()
 
 

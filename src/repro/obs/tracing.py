@@ -17,6 +17,7 @@ way, which is how library code stays decoupled from whoever enabled tracing.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -186,10 +187,21 @@ class Tracer:
 
 _DEFAULT_TRACER = Tracer(enabled=False)
 
+# Thread-local tracer override: a shard engine handling a *traced* envelope
+# on a worker thread must not swap the process-wide tracer (concurrent
+# shards would cross-contaminate span buffers), so library spans resolve
+# the current thread's tracer first and fall back to the process-wide one.
+_TLS = threading.local()
+
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer instrumented library code reports to."""
-    return _DEFAULT_TRACER
+    """The tracer instrumented library code reports to.
+
+    The current thread's override (see :func:`set_thread_tracer`) wins;
+    otherwise the process-wide default.
+    """
+    tracer = getattr(_TLS, "tracer", None)
+    return tracer if tracer is not None else _DEFAULT_TRACER
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
@@ -200,9 +212,24 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return previous
 
 
+def set_thread_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install a tracer for *this thread only*; returns the previous override.
+
+    ``None`` clears the override (library spans fall back to the process-wide
+    tracer).  This is the span-capture hook of distributed tracing: one shard
+    engine, one thread, one private span buffer — no matter how many shards
+    share the process.
+    """
+    previous = getattr(_TLS, "tracer", None)
+    _TLS.tracer = tracer
+    return previous
+
+
 def span(name: str, **args):
-    """Span on the process-wide tracer (the one-liner for library code)."""
-    tracer = _DEFAULT_TRACER
+    """Span on the current tracer (the one-liner for library code)."""
+    tracer = getattr(_TLS, "tracer", None)
+    if tracer is None:
+        tracer = _DEFAULT_TRACER
     if not tracer.enabled:
         return _NULL_SPAN
     return _ActiveSpan(tracer, name, args or None)

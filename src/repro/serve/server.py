@@ -90,7 +90,13 @@ def serving_reach_of(classifier) -> Optional[int]:
 
 @dataclass
 class ServeResult:
-    """Completed request: ``value`` is a class id (classify) or embedding."""
+    """Completed request: ``value`` is a class id (classify) or embedding.
+
+    ``rung`` names the serving-ladder tier that produced the embedding
+    (``cache`` / ``store`` / ``overlay`` / ``recompute``); ``queue_wait``
+    is the time between submit and batch flush (0 for submit-time cache
+    hits), so ``latency = queue_wait + compute`` decomposes exactly.
+    """
 
     request_id: int
     node: int
@@ -99,10 +105,16 @@ class ServeResult:
     arrival: float
     completion: float
     cache_hit: bool
+    rung: str = "recompute"
+    queue_wait: float = 0.0
 
     @property
     def latency(self) -> float:
         return self.completion - self.arrival
+
+    @property
+    def compute(self) -> float:
+        return max(0.0, self.latency - self.queue_wait)
 
 
 class InferenceServer:
@@ -295,7 +307,10 @@ class InferenceServer:
         else:
             value = cached
         completion = request.arrival + (time.perf_counter() - start)
-        self._finish(request, value, completion, cache_hit=True, batch_size=1)
+        self._finish(
+            request, value, completion,
+            cache_hit=True, batch_size=1, rung="cache", queue_wait=0.0,
+        )
         return True
 
     def poll(self, now: Optional[float] = None) -> int:
@@ -498,10 +513,14 @@ class InferenceServer:
             executed += 1
 
     def _compute_embedding(self, node: int) -> np.ndarray:
-        return self._compute_embeddings([int(node)])[0]
+        return self._compute_embeddings([int(node)])[0][0]
 
-    def _compute_embeddings(self, nodes: List[int]) -> np.ndarray:
+    def _compute_embeddings(self, nodes: List[int]):
         """Cold-path embeddings for ``nodes`` — one batched model call.
+
+        Returns ``(embeddings, rungs)`` where ``rungs[i]`` names the ladder
+        tier that produced row ``i`` (``store`` / ``overlay`` /
+        ``recompute``) — the per-node attribution the request records carry.
 
         Determinism is preserved under batching: each node gets its own rng
         seeded ``(server seed, node version, node id)``, so every row is
@@ -515,21 +534,31 @@ class InferenceServer:
                 np.random.default_rng([self.seed, self._version_of(node), int(node)])
                 for node in nodes
             ]
+            rungs = ["recompute"] * len(nodes)
             if hasattr(self.classifier, "embed_for_serving_batch"):
-                return self.classifier.embed_for_serving_batch(
-                    np.asarray(nodes, dtype=np.int64), self.graph, rngs
+                return (
+                    self.classifier.embed_for_serving_batch(
+                        np.asarray(nodes, dtype=np.int64), self.graph, rngs
+                    ),
+                    rungs,
                 )
-            return np.stack(
-                [
-                    self.classifier.embed_for_serving(
-                        np.array([node]), self.graph, rng=rng
-                    )[0]
-                    for node, rng in zip(nodes, rngs)
-                ]
+            return (
+                np.stack(
+                    [
+                        self.classifier.embed_for_serving(
+                            np.array([node]), self.graph, rng=rng
+                        )[0]
+                        for node, rng in zip(nodes, rngs)
+                    ]
+                ),
+                rungs,
             )
-        return self.classifier.embed(np.asarray(nodes), graph=self.graph)
+        return (
+            self.classifier.embed(np.asarray(nodes), graph=self.graph),
+            ["recompute"] * len(nodes),
+        )
 
-    def _compute_embeddings_with_store(self, nodes: List[int]) -> np.ndarray:
+    def _compute_embeddings_with_store(self, nodes: List[int]):
         """Store-tier miss path: O(1) row lookups, attention + MLP only.
 
         Each node's store row is *fresh* when its recorded version equals
@@ -547,6 +576,16 @@ class InferenceServer:
         have = store.versions_of(nodes_arr)
         fresh_mask = have == want
         hit = int(fresh_mask.sum())
+        # Attribution before any refresh: a fresh row out of the overlay is
+        # an "overlay" serve, out of the base blocks a "store" serve; a
+        # stale/absent row is a recompute no matter where the refreshed row
+        # lands afterwards.
+        rungs = [
+            ("overlay" if store.in_overlay(int(node)) else "store")
+            if fresh
+            else "recompute"
+            for node, fresh in zip(nodes_arr, fresh_mask)
+        ]
         if hit == nodes_arr.size:
             # All-hit fast path: one vectorized gather, no assembly buffer.
             blocks, lengths = store.blocks_for(nodes_arr)
@@ -582,7 +621,7 @@ class InferenceServer:
         stale = int(((~fresh_mask) & (have >= 0)).sum())
         absent = int((have < 0).sum())
         self.telemetry.record_store_lookup(hit=hit, stale=stale, absent=absent)
-        return self.classifier.embed_from_store_blocks(blocks, lengths)
+        return self.classifier.embed_from_store_blocks(blocks, lengths), rungs
 
     def reset_clock(self) -> None:
         """Forget the busy-until watermark (between independent replays)."""
@@ -593,22 +632,27 @@ class InferenceServer:
         start = time.perf_counter()
         embeddings: Dict[int, np.ndarray] = {}
         hit: Dict[int, bool] = {}
+        rung: Dict[int, str] = {}
         miss_nodes: List[int] = []
         for node in dict.fromkeys(request.node for request in batch):
             cached = self.cache.get(node, self._version_of(node))
             if cached is not None:
                 embeddings[node] = cached
                 hit[node] = True
+                rung[node] = "cache"
             else:
                 miss_nodes.append(node)
                 hit[node] = False
         if miss_nodes:
             # All of the batch's misses go through one vectorized forward.
-            computed = self._compute_embeddings(miss_nodes)
+            computed, miss_rungs = self._compute_embeddings(miss_nodes)
             self.telemetry.record_compute_batch(len(miss_nodes))
-            for node, embedding in zip(miss_nodes, computed):
+            for node, embedding, node_rung in zip(
+                miss_nodes, computed, miss_rungs
+            ):
                 self.cache.put(node, self._version_of(node), embedding)
                 embeddings[node] = embedding
+                rung[node] = node_rung
         classify_requests = [r for r in batch if r.kind == "classify"]
         predictions: Dict[int, int] = {}
         if classify_requests:
@@ -633,6 +677,8 @@ class InferenceServer:
             self._finish(
                 request, value, completion,
                 cache_hit=hit[request.node], batch_size=len(batch),
+                rung=rung[request.node],
+                queue_wait=max(0.0, flush_time - request.arrival),
             )
 
     def _finish(
@@ -643,6 +689,8 @@ class InferenceServer:
         *,
         cache_hit: bool,
         batch_size: int,
+        rung: str = "recompute",
+        queue_wait: float = 0.0,
     ) -> None:
         self._results[request.request_id] = ServeResult(
             request_id=request.request_id,
@@ -652,6 +700,8 @@ class InferenceServer:
             arrival=request.arrival,
             completion=completion,
             cache_hit=cache_hit,
+            rung=rung,
+            queue_wait=queue_wait,
         )
         self.telemetry.record_request(
             RequestRecord(
@@ -660,6 +710,8 @@ class InferenceServer:
                 completion=completion,
                 cache_hit=cache_hit,
                 batch_size=batch_size,
+                rung=rung,
+                queue_wait=queue_wait,
             )
         )
 

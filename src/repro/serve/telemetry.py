@@ -34,19 +34,34 @@ def percentile(values: Sequence[float], p: float) -> float:
     return nearest_rank_percentile(values, p)
 
 
+#: Serving-ladder rungs, fastest first (see ``repro.obs.slo.RUNGS``).
+RUNGS = ("cache", "store", "overlay", "recompute")
+
+
 @dataclass
 class RequestRecord:
-    """One completed request, as the telemetry layer sees it."""
+    """One completed request, as the telemetry layer sees it.
+
+    ``rung`` names the serving-ladder tier that produced the embedding;
+    ``queue_wait`` is submit-to-flush time (0 for submit-time cache hits),
+    so ``latency - queue_wait`` is the request's compute share.
+    """
 
     node: int
     arrival: float
     completion: float
     cache_hit: bool
     batch_size: int
+    rung: str = "recompute"
+    queue_wait: float = 0.0
 
     @property
     def latency(self) -> float:
         return self.completion - self.arrival
+
+    @property
+    def compute(self) -> float:
+        return max(0.0, self.latency - self.queue_wait)
 
 
 @dataclass
@@ -94,6 +109,10 @@ class Telemetry:
             )
             for outcome in ("hit", "stale", "absent")
         }
+        self._rung_counters = {
+            rung: registry.counter("serve_rung_total", rung=rung)
+            for rung in RUNGS
+        }
 
     def attach_cache(self, cache) -> None:
         """Expose an :class:`EmbeddingCache`'s per-node hit histogram in
@@ -105,6 +124,9 @@ class Telemetry:
         if self._latency_hist is not None:
             self._latency_hist.observe(record.latency)
             self._requests_by_hit[record.cache_hit].inc()
+            counter = self._rung_counters.get(record.rung)
+            if counter is not None:
+                counter.inc()
 
     def record_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
@@ -211,6 +233,8 @@ class Telemetry:
                 "completion": [r.completion for r in self.requests],
                 "cache_hit": [r.cache_hit for r in self.requests],
                 "batch_size": [r.batch_size for r in self.requests],
+                "rung": [r.rung for r in self.requests],
+                "queue_wait": [r.queue_wait for r in self.requests],
             },
             "batch_sizes": list(self.batch_sizes),
             "compute_batch_sizes": list(self.compute_batch_sizes),
@@ -225,6 +249,10 @@ class Telemetry:
         """Rebuild a reducible :class:`Telemetry` from a snapshot payload."""
         requests = payload["requests"]
         telemetry = cls(max_batch_size=int(payload.get("max_batch_size", 1)))
+        count = len(requests["node"])
+        # Older payloads predate attribution; default to the coarse values.
+        rungs = requests.get("rung", ["recompute"] * count)
+        queue_waits = requests.get("queue_wait", [0.0] * count)
         telemetry.requests = [
             RequestRecord(
                 node=int(node),
@@ -232,13 +260,17 @@ class Telemetry:
                 completion=float(completion),
                 cache_hit=bool(cache_hit),
                 batch_size=int(batch_size),
+                rung=str(rung),
+                queue_wait=float(queue_wait),
             )
-            for node, arrival, completion, cache_hit, batch_size in zip(
+            for node, arrival, completion, cache_hit, batch_size, rung, queue_wait in zip(
                 requests["node"],
                 requests["arrival"],
                 requests["completion"],
                 requests["cache_hit"],
                 requests["batch_size"],
+                rungs,
+                queue_waits,
             )
         ]
         telemetry.batch_sizes = [int(v) for v in payload["batch_sizes"]]
@@ -322,6 +354,18 @@ class Telemetry:
         stats["compute_batch_max"] = (
             float(max(self.compute_batch_sizes)) if self.compute_batch_sizes else 0.0
         )
+        if self.requests:
+            count = len(self.requests)
+            stats["queue_wait_mean_s"] = (
+                sum(r.queue_wait for r in self.requests) / count
+            )
+            stats["compute_mean_s"] = (
+                sum(r.compute for r in self.requests) / count
+            )
+            for rung in RUNGS:
+                stats[f"rung_{rung}"] = float(
+                    sum(1 for r in self.requests if r.rung == rung)
+                )
         stats["invalidations"] = len(self.invalidation_records)
         stats["invalidated_entries"] = float(
             sum(r["dropped"] for r in self.invalidation_records)
@@ -373,6 +417,17 @@ class Telemetry:
             f" (mean size {stats['compute_batch_mean']:.2f},"
             f" max {int(stats['compute_batch_max'])})",
         ]
+        if "queue_wait_mean_s" in stats:
+            lines.append(
+                f"queue/compute     {stats['queue_wait_mean_s'] * 1e3:.3f} /"
+                f" {stats['compute_mean_s'] * 1e3:.3f} ms (mean)"
+            )
+            lines.append(
+                "rung mix          "
+                + " / ".join(
+                    f"{rung} {int(stats[f'rung_{rung}'])}" for rung in RUNGS
+                )
+            )
         if "store_hits" in stats:
             lines.append(
                 f"store lookups     hit {int(stats['store_hits'])}"

@@ -142,6 +142,12 @@ class AggregateStore:
         """Whether any row (base or overlay) exists for ``node``."""
         return int(node) in self._overlay or self._position(node) is not None
 
+    def in_overlay(self, node: int) -> bool:
+        """Whether the node's current row lives in the re-materialized
+        overlay (vs the base blocks) — the serving-ladder attribution
+        between the ``store`` and ``overlay`` rungs."""
+        return int(node) in self._overlay
+
     def version_of(self, node: int) -> Optional[int]:
         """Serving version the node's row was materialized at, or None."""
         entry = self._overlay.get(int(node))

@@ -381,6 +381,16 @@ class TestTimingAlias:
         assert result == 42
         assert seconds >= 0.0
 
+    def test_utils_package_reexports_same_objects(self):
+        # The deprecated shim's public surface: repro.utils must hand out
+        # the identical objects, with nothing extra left behind.
+        import repro.utils as utils
+        import repro.utils.timing as utils_timing
+
+        assert utils.Timer is Timer
+        assert utils.time_call is time_call
+        assert utils_timing.__all__ == ["Timer", "time_call"]
+
 
 class TestPrometheusExposition:
     def test_counter_and_gauge_samples(self):
@@ -415,6 +425,49 @@ class TestPrometheusExposition:
         text = registry.render_prometheus()
         assert "serve_latency_ms" in text
         assert "serve/latency-ms" not in text
+
+    def test_label_values_escaped_per_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "paths_total", path='C:\\tmp\\"new"\nline'
+        ).inc()
+        text = registry.render_prometheus()
+        # Backslash, double-quote, and newline must all be escaped — and
+        # the raw newline must never reach the output (it would split the
+        # sample across two exposition lines).
+        assert 'path="C:\\\\tmp\\\\\\"new\\"\\nline"' in text
+        assert '\nline"' not in text
+
+    def test_label_keys_with_leading_digit_prefixed(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", **{"2xx": "yes"}).inc()
+        text = registry.render_prometheus()
+        assert '_2xx="yes"' in text
+        assert '{2xx=' not in text
+
+    def test_help_line_precedes_type(self):
+        registry = MetricsRegistry()
+        registry.describe("requests_total", "How many requests we served.")
+        registry.counter("requests_total").inc()
+        text = registry.render_prometheus()
+        help_line = "# HELP requests_total How many requests we served."
+        assert help_line in text
+        assert text.index("# HELP requests_total") < text.index(
+            "# TYPE requests_total"
+        )
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.describe("m_total", "first\nsecond \\ third")
+        registry.counter("m_total").inc()
+        text = registry.render_prometheus()
+        assert "# HELP m_total first\\nsecond \\\\ third" in text
+
+    def test_default_help_for_known_series(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_rung_total", rung="cache").inc()
+        text = registry.render_prometheus()
+        assert "# HELP serve_rung_total" in text
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
@@ -489,6 +542,20 @@ class TestRegistryPayloads:
         merged.merge_payload(payload)
         assert 'hits_total{shard="0"} 7' in merged.render_prometheus()
 
+    def test_help_survives_merge_without_clobbering_local(self):
+        remote = MetricsRegistry()
+        remote.describe("hits_total", "remote help")
+        remote.describe("misses_total", "remote-only help")
+        remote.counter("hits_total").inc()
+        remote.counter("misses_total").inc()
+        merged = MetricsRegistry()
+        merged.describe("hits_total", "local help")
+        merged.merge_payload(remote.to_payload())
+        text = merged.render_prometheus()
+        # Local descriptions win; names only the remote described come over.
+        assert "# HELP hits_total local help" in text
+        assert "# HELP misses_total remote-only help" in text
+
 
 class TestMetricsHTTPServer:
     def test_scrape_returns_fresh_exposition(self):
@@ -557,3 +624,95 @@ class TestMetricsHTTPServer:
             with urlopen(server.url, timeout=10) as response:
                 body = response.read().decode()
         assert 'serve_requests_total{shard="0"} 4' in body
+
+    def test_extra_json_routes_serve_fresh_objects(self):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        from repro.obs import MetricsHTTPServer
+
+        state = {"burn_rate": 0.5}
+
+        def broken():
+            raise RuntimeError("no report yet")
+
+        with MetricsHTTPServer(
+            lambda: "", routes={"/slo": lambda: state, "/broken": broken}
+        ) as server:
+            base = server.url.rsplit("/metrics", 1)[0]
+            with urlopen(base + "/slo", timeout=10) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                assert json.loads(response.read()) == {"burn_rate": 0.5}
+            state["burn_rate"] = 2.0  # rendered per request, like /metrics
+            with urlopen(base + "/slo", timeout=10) as response:
+                assert json.loads(response.read())["burn_rate"] == 2.0
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(base + "/broken", timeout=10)
+            assert excinfo.value.code == 500
+
+
+class TestCrossTransportHistogramMerge:
+    """Satellite contract: shard metrics payloads gathered over *real*
+    transports, merged at the router side, must reproduce — bit for bit —
+    the exposition a single registry fed the same observations would
+    render.  The payloads cross a genuine pickle boundary on ``inline``
+    and ``mp``, so this pins the lossless-histogram guarantee end to end,
+    not just between two in-process registries."""
+
+    @pytest.mark.parametrize("transport", ["inline", "thread", "mp"])
+    def test_merged_equals_replayed_single_registry(self, transport, tmp_path):
+        from repro.cluster import ClusterRouter
+        from repro.core import WidenClassifier
+        from repro.datasets import make_acm
+
+        acm = make_acm(seed=0, scale=0.5)
+        model = WidenClassifier(seed=0, dim=16, num_wide=6, num_deep=2)
+        model.fit(acm.graph, acm.split.train[:40], epochs=1)
+        checkpoint = tmp_path / "widen.npz"
+        model.save(checkpoint)
+        router = ClusterRouter.from_checkpoint(
+            checkpoint,
+            make_acm(seed=0, scale=0.5).graph,
+            2,
+            transport=transport,
+            seed=7,
+        )
+        try:
+            probe = np.asarray(acm.split.test[:16])
+            router.embed(probe)
+            router.embed(probe[:8])  # warm repeats: histograms gain spread
+            payloads = [
+                worker.pull_metrics().result(30.0)["registry"]
+                for worker in router.workers
+            ]
+        finally:
+            router.close()
+        merged = MetricsRegistry()
+        shared = MetricsRegistry()
+        described = set()
+        for shard, payload in enumerate(payloads):
+            extra = {"shard": str(shard)}
+            merged.merge_payload(payload, extra_labels=extra)
+            # Feed the identical observations through the instrument API.
+            for name, text in payload.get("help", {}).items():
+                if name not in described:
+                    shared.describe(name, text)
+                    described.add(name)
+            for entry in payload["series"]:
+                labels = {**entry["labels"], **extra}
+                if entry["kind"] == "counter":
+                    shared.counter(entry["name"], **labels).inc(entry["value"])
+                elif entry["kind"] == "gauge":
+                    shared.gauge(entry["name"], **labels).set(entry["value"])
+                else:
+                    histogram = shared.histogram(entry["name"], **labels)
+                    for value in entry["values"]:
+                        histogram.observe(value)
+        assert any(
+            entry["kind"] == "histogram" and entry["values"]
+            for payload in payloads
+            for entry in payload["series"]
+        ), "workload produced no histogram observations to compare"
+        assert merged.render_prometheus() == shared.render_prometheus()
