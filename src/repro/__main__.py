@@ -44,6 +44,12 @@ Commands
 ``tune-scatter [--repeats N] [--tuning-out F]``
     Micro-sweep the scatter-add backend crossovers on this machine and
     print the ``REPRO_SCATTER_*`` environment settings they imply.
+``tune-kernels [--repeats N] [--table-out F] [--tuning-out F]``
+    Superset of ``tune-scatter``: sweep the scatter-add crossovers *and*
+    the padded-vs-sparse forward crossover, persist the versioned
+    per-host kernel-selection table (``~/.cache/repro/kernel_table.json``
+    unless ``--table-out``/``REPRO_KERNEL_TABLE`` says otherwise), which
+    every later ``repro.tensor`` import auto-applies.
 ``profile [dataset] [--epochs N] [--trace-out F] [--metrics-out F]``
     Train WIDEN under the :mod:`repro.obs` instrumentation: prints an
     op-level time/FLOP table and the per-epoch message-volume series, and
@@ -55,8 +61,9 @@ dump the shared metrics registry as JSONL after the run.  ``serve-bench``
 and ``serve-cluster`` accept ``--metrics-port P`` to expose a live
 Prometheus ``/metrics`` endpoint for the duration of the run (port 0
 picks a free port).  Every WIDEN run accepts ``--forward-mode
-{batched,per_node}`` to select the vectorized batched forward path
-(default) or the per-node reference loop.
+{batched,sparse,auto,per_node}`` to select the vectorized padded batch
+path (default), the CSR sparse kernels, per-batch automatic selection
+from the kernel table, or the per-node reference loop.
 """
 
 from __future__ import annotations
@@ -521,13 +528,31 @@ def _cmd_tune_scatter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune_kernels(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tensor.kernels import format_table_report, run_kernel_tuning
+
+    dim = args.dim if args.dim is not None else 64
+    report = run_kernel_tuning(
+        dim=dim, repeats=args.repeats, path=args.table_out
+    )
+    print(format_table_report(report))
+    if args.tuning_out:
+        with open(args.tuning_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote tuning report to {args.tuning_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "command",
         choices=(
             "stats", "train", "compare", "serve-bench", "serve-cluster",
-            "store-build", "profile", "tune-scatter", "trace",
+            "store-build", "profile", "tune-scatter", "tune-kernels",
+            "trace",
         ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
@@ -540,10 +565,13 @@ def main(argv=None) -> int:
     parser.add_argument("--dim", type=int, default=None,
                         help="hidden dimension override (profile/train); the "
                              "paper-scale widths make the gemm share visible")
-    parser.add_argument("--forward-mode", choices=("batched", "per_node"),
+    parser.add_argument("--forward-mode",
+                        choices=("batched", "sparse", "auto", "per_node"),
                         default="batched",
-                        help="WIDEN forward path: vectorized batched (default) "
-                             "or the per-node reference loop")
+                        help="WIDEN forward path: vectorized padded batches "
+                             "(default), CSR sparse kernels, per-batch "
+                             "auto-selection from the kernel table, or the "
+                             "per-node reference loop")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--metrics-out", default=None,
                      help="dump the metrics registry as JSONL to this path "
@@ -601,11 +629,15 @@ def main(argv=None) -> int:
                       help="trace: SLO report JSON output path")
     dist.add_argument("--attribution-out", default="attribution.jsonl",
                       help="trace: per-request attribution JSONL output path")
-    tune = parser.add_argument_group("tune-scatter")
+    tune = parser.add_argument_group("tune-scatter / tune-kernels")
     tune.add_argument("--repeats", type=int, default=30,
                       help="timing repeats per backend per shape (median)")
     tune.add_argument("--tuning-out", default=None,
                       help="write the sweep report as JSON to this path")
+    tune.add_argument("--table-out", default=None,
+                      help="tune-kernels: kernel-selection table path "
+                           "(default: REPRO_KERNEL_TABLE or "
+                           "~/.cache/repro/kernel_table.json)")
     args = parser.parse_args(argv)
     args.dataset = args.dataset or args.dataset_flag
     if args.command == "profile" and args.metrics_out is None:
@@ -619,6 +651,7 @@ def main(argv=None) -> int:
         "store-build": _cmd_store_build,
         "profile": _cmd_profile,
         "tune-scatter": _cmd_tune_scatter,
+        "tune-kernels": _cmd_tune_kernels,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

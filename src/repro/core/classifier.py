@@ -162,7 +162,7 @@ class WidenClassifier(BaseClassifier):
         if nodes.size == 0:
             return np.empty((0, self.config.dim))
         if (
-            self.config.forward_mode != "batched"
+            self.config.forward_mode == "per_node"
             or self.config.embedding_mode == "replace"
         ):
             # Replace mode warms up a per-call state table node by node;
@@ -180,6 +180,7 @@ class WidenClassifier(BaseClassifier):
                 num_wide=self.config.num_wide,
                 num_deep=self.config.num_deep,
                 num_deep_walks=self.config.num_deep_walks,
+                wide_sampling=self.config.wide_sampling,
                 rng=new_rng(rng),
             )
             states.append(store.get(int(node)))
@@ -229,8 +230,15 @@ class WidenClassifier(BaseClassifier):
         exactly; otherwise the human-readable reason they cannot."""
         if self.config.embedding_mode == "replace":
             return "embedding_mode='replace' warms a per-call state table"
-        if self.config.forward_mode != "batched":
-            return f"forward_mode={self.config.forward_mode!r} is not 'batched'"
+        if self.config.forward_mode not in ("batched", "sparse"):
+            # "auto" may route the store assembly and the recompute oracle
+            # through different kernels (their batch geometries differ), and
+            # padded-vs-sparse results agree to 1e-10 but not bitwise — the
+            # store's exactness contract requires one fixed kernel.
+            return (
+                f"forward_mode={self.config.forward_mode!r} is not a fixed "
+                "minibatch kernel ('batched' or 'sparse')"
+            )
         return None
 
     def materialize_store_rows(self, nodes: np.ndarray, graph: HeteroGraph, rngs):
@@ -258,6 +266,7 @@ class WidenClassifier(BaseClassifier):
                 num_wide=self.config.num_wide,
                 num_deep=self.config.num_deep,
                 num_deep_walks=self.config.num_deep_walks,
+                wide_sampling=self.config.wide_sampling,
                 rng=new_rng(rng),
             )
             states.append(store.get(int(node)))

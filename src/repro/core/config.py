@@ -44,12 +44,25 @@ class WidenConfig:
     forward_mode: str = "batched"
     """``"batched"`` runs minibatches through the vectorized
     :meth:`~repro.core.model.WidenModel.forward_batch` path (padded batch
-    tensors, one attention call per stage); ``"per_node"`` keeps the
-    original one-target-at-a-time reference path.  Both compute the same
-    mathematics; the batched path is faster.  In ``"replace"`` embedding
-    mode the batched path applies synchronous minibatch semantics (all
-    rows of a minibatch read the pre-batch state table), whereas the
-    per-node path updates the table after every single forward."""
+    tensors, one attention call per stage); ``"sparse"`` runs the same
+    minibatch mathematics over flat CSR pack arrays
+    (:meth:`~repro.core.model.WidenModel.forward_batch_sparse` — work
+    proportional to real pack rows, no ``[B, L_max, d]`` padding, results
+    within 1e-10 of the padded path); ``"auto"`` picks padded vs sparse
+    per batch from its would-be padding waste and the per-host
+    kernel-selection table (:mod:`repro.tensor.kernels`); ``"per_node"``
+    keeps the original one-target-at-a-time reference path.  All compute
+    the same mathematics.  In ``"replace"`` embedding mode the minibatched
+    paths apply synchronous minibatch semantics (all rows of a minibatch
+    read the pre-batch state table), whereas the per-node path updates the
+    table after every single forward."""
+    wide_sampling: str = "replace"
+    """``"replace"`` oversamples below-cap nodes to exactly ``num_wide``
+    neighbors with replacement (the GraphSAGE convention; every pack is
+    cap-length).  ``"unique"`` takes each neighbor at most once, so pack
+    lengths track true degrees — on power-law graphs most packs become far
+    shorter than the cap, the regime where ``forward_mode="sparse"``/"auto"
+    pays (padded grids would be mostly padding)."""
     embedding_mode: str = "project"
     """How neighbor representations v_n enter message packs (Eq. 1-2).
 
@@ -118,8 +131,10 @@ class WidenConfig:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
         if self.embedding_mode not in ("project", "replace"):
             raise ValueError(f"unknown embedding_mode {self.embedding_mode!r}")
-        if self.forward_mode not in ("batched", "per_node"):
+        if self.forward_mode not in ("batched", "sparse", "auto", "per_node"):
             raise ValueError(f"unknown forward_mode {self.forward_mode!r}")
+        if self.wide_sampling not in ("replace", "unique"):
+            raise ValueError(f"unknown wide_sampling {self.wide_sampling!r}")
         if not 0.0 <= self.refresh_fraction <= 1.0:
             raise ValueError(
                 f"refresh_fraction must be in [0, 1], got {self.refresh_fraction}"

@@ -29,10 +29,16 @@ from repro.core.config import WidenConfig
 from repro.core.packing import (
     PackedBatch,
     PackRows,
+    causal_pairs,
     deep_causal_mask,
+    flat_slot_indices,
     pack_batch,
+    pack_batch_sparse,
     pad_block_masks,
     pad_pack_rows,
+    padded_waste,
+    segment_ids,
+    segment_offsets,
 )
 from repro.core.relay import EdgeSpecLike, RelayRecipe
 from repro.core.state import NeighborState
@@ -429,7 +435,14 @@ class WidenModel(Module):
         Returns ``(embeddings, wide_attentions, deep_attentions)`` where
         ``embeddings`` is ``(B, d)`` and the attention lists hold, per
         target, the same trimmed distributions ``forward`` would return.
+
+        ``forward_mode="sparse"`` routes to the CSR kernels
+        (:meth:`forward_batch_sparse`); ``"auto"`` measures the batch's
+        would-be padding waste against the per-host kernel-selection table
+        and picks per batch.
         """
+        if self._select_sparse(states):
+            return self.forward_batch_sparse(targets, states, graph, node_state)
         config = self.config
         d = config.dim
         pack = pack_batch(
@@ -507,6 +520,162 @@ class WidenModel(Module):
 
             embeddings = self._fuse_batch(h_wide, h_deep, pack.hidden_dropout)
         return embeddings, wide_attentions, deep_attentions
+
+    def _select_sparse(self, states: Sequence[NeighborState]) -> bool:
+        """Route a batch to the CSR kernels?
+
+        ``"sparse"`` always; ``"auto"`` when the batch's would-be padding
+        waste meets the kernel-selection table's ``sparse_min_waste``
+        (:mod:`repro.tensor.kernels`, tuned per host by ``tune-kernels``).
+        """
+        mode = self.config.forward_mode
+        if mode == "sparse":
+            return True
+        if mode != "auto":
+            return False
+        from repro.tensor.kernels import get_forward_selection
+
+        selection = get_forward_selection()
+        return padded_waste(states, self.config) >= selection["sparse_min_waste"]
+
+    def forward_batch_sparse(
+        self,
+        targets: Sequence[int],
+        states: Sequence[NeighborState],
+        graph: HeteroGraph,
+        node_state: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, List[Optional[np.ndarray]], List[List[np.ndarray]]]:
+        """:meth:`forward_batch` over flat CSR pack arrays — no padding.
+
+        Every stage runs on work proportional to the real pack rows:
+        ``gather_mul`` assembles the flat packs, ``sddmm`` scores only real
+        (target, pack) pairs, ``segment_softmax``/``segment_matmul``
+        normalize and aggregate segment-locally.  Pack-row values equal the
+        padded kernels' valid slots bitwise (padding multiplies by exactly
+        1.0 there), and the segment reductions see the same operands in the
+        same order — results agree with :meth:`forward_batch` to the last
+        ulp of the summation order (<= 1e-10), with identical dropout
+        streams.
+        """
+        config = self.config
+        d = config.dim
+        pack = pack_batch_sparse(
+            targets,
+            states,
+            graph,
+            config,
+            pack_dropout=self.pack_dropout,
+            hidden_dropout=self.hidden_dropout,
+        )
+        batch = pack.batch_size
+
+        with trace_span("widen.forward", batch=batch, kernel="sparse"):
+            target_vecs = ops.matmul(
+                Tensor(graph.features[pack.targets]), self.project.weight
+            )
+            if pack.neighbor_nodes.size:
+                if node_state is not None:
+                    neighbor_vecs = Tensor(node_state[pack.neighbor_nodes])
+                else:
+                    neighbor_vecs = ops.matmul(
+                        Tensor(graph.features[pack.neighbor_nodes]),
+                        self.project.weight,
+                    )
+                flat = ops.concat([target_vecs, neighbor_vecs], axis=0)
+            else:
+                flat = target_vecs
+
+            wide_attentions: List[Optional[np.ndarray]] = [None] * batch
+            if config.use_wide:
+                offsets = pack.wide_offsets
+                with trace_span("widen.wide_pass", packs=int(pack.wide_src.size)):
+                    edge_vecs = self.edge_embedding(pack.wide_etypes)
+                    packs = ops.gather_mul(
+                        flat, pack.wide_src, edge_vecs, pack.wide_dropout
+                    )
+                    h_wide, weights = self._attend_wide_sparse(
+                        packs, pack.wide_seg_ids, offsets
+                    )
+                    wide_attentions = [
+                        weights.data[offsets[b] : offsets[b + 1]].copy()
+                        for b in range(batch)
+                    ]
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            deep_attentions: List[List[np.ndarray]] = [[] for _ in range(batch)]
+            if config.use_deep:
+                offsets = pack.deep_offsets
+                total = int(pack.deep_lengths.shape[0])
+                with trace_span("widen.deep_pass", packs=int(pack.deep_src.size)):
+                    edge_vecs = self.edge_embedding(pack.deep_etypes)
+                    if pack.deep_relays:
+                        relay_rows = self.relay_vectors_bulk(
+                            pack.deep_relays, graph, node_state
+                        )
+                        edge_vecs = ops.scatter_rows(
+                            edge_vecs, pack.deep_relay_rows, relay_rows
+                        )
+                    packs = ops.gather_mul(
+                        flat, pack.deep_src, edge_vecs, pack.deep_dropout
+                    )
+                    pairs = (
+                        (pack.pair_rows, pack.pair_cols, pack.pair_offsets)
+                        if config.use_successive
+                        else None
+                    )
+                    h_deep, weights = self._attend_deep_sparse(
+                        packs, pack.deep_seg_ids, offsets, pairs,
+                        batch, pack.num_walks,
+                    )
+                    for w in range(total):
+                        deep_attentions[w // pack.num_walks].append(
+                            weights.data[offsets[w] : offsets[w + 1]].copy()
+                        )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            embeddings = self._fuse_batch(h_wide, h_deep, pack.hidden_dropout)
+        return embeddings, wide_attentions, deep_attentions
+
+    def _attend_wide_sparse(
+        self, packs: Tensor, seg_ids: np.ndarray, offsets: np.ndarray
+    ):
+        """PASS° (Eq. 3) over flat CSR pack rows."""
+        batch = int(offsets.shape[0]) - 1
+        query = ops.pad_gather(packs, offsets[:-1], np.ones(batch))
+        return self.wide_pass.forward_sparse(
+            query, packs, packs, seg_ids, offsets
+        )
+
+    def _attend_deep_sparse(
+        self,
+        packs: Tensor,
+        seg_ids: np.ndarray,
+        offsets: np.ndarray,
+        pairs,
+        batch: int,
+        num_walks: int,
+    ):
+        """PASS▷ (Eqs. 4-6) over flat CSR walk-pack rows.
+
+        ``pairs`` is the ``(pair_rows, pair_cols, pair_offsets)`` causal
+        enumeration (or ``None`` when the successive refinement is
+        ablated).  Returns ``(h_deep, weights)`` with the flat per-walk
+        attention weights segmented by ``offsets``.
+        """
+        d = self.config.dim
+        total = int(offsets.shape[0]) - 1
+        if self.config.use_successive:
+            refined = self.deep_successive.forward_sparse(packs, *pairs)
+        else:
+            refined = packs
+        query = ops.pad_gather(packs, offsets[:-1], np.ones(total))
+        h_walks, weights = self.deep_pass.forward_sparse(
+            query, refined, packs, seg_ids, offsets
+        )
+        h_deep = ops.mean(ops.reshape(h_walks, (batch, num_walks, d)), axis=1)
+        return h_deep, weights
 
     # -- shared attention + fusion halves --------------------------------
     #
@@ -651,6 +820,8 @@ class WidenModel(Module):
         batch = len(rows)
         if batch == 0:
             raise ValueError("forward_from_rows requires at least one row set")
+        if config.forward_mode == "sparse":
+            return self._forward_from_rows_sparse(rows)
 
         with trace_span("widen.forward_from_rows", batch=batch):
             if config.use_wide:
@@ -709,6 +880,11 @@ class WidenModel(Module):
         batch = int(blocks.shape[0])
         if batch == 0:
             raise ValueError("forward_from_blocks requires at least one block")
+        if config.forward_mode == "sparse":
+            return self._forward_from_blocks_sparse(
+                blocks, lengths,
+                wide_cap=wide_cap, deep_cap=deep_cap, num_walks=num_walks,
+            )
 
         with trace_span("widen.forward_from_blocks", batch=batch):
             if config.use_wide:
@@ -734,6 +910,119 @@ class WidenModel(Module):
                 ):
                     h_deep, _ = self._attend_deep(
                         Tensor(walk_packs), attn_mask, causal, batch, num_walks
+                    )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            return self._fuse_batch(h_wide, h_deep, None)
+
+    def _forward_from_rows_sparse(self, rows: Sequence[PackRows]) -> Tensor:
+        """:meth:`forward_from_rows` on the CSR kernels — no re-padding.
+
+        Stored rows are already trimmed to true lengths, so sparse
+        assembly is a straight concatenation: each row set becomes one CSR
+        segment.  The pack values are identical to what ``gather_mul``
+        would produce (the padded materializer multiplies valid slots by
+        exactly 1.0), so the result is bit-identical to the sparse
+        recompute path.
+        """
+        config = self.config
+        d = config.dim
+        batch = len(rows)
+
+        with trace_span("widen.forward_from_rows", batch=batch, kernel="sparse"):
+            if config.use_wide:
+                wide_rows = [row.wide for row in rows]
+                offsets = segment_offsets(
+                    np.array([r.shape[0] for r in wide_rows], np.int64)
+                )
+                packs = Tensor(np.concatenate(wide_rows, axis=0))
+                with trace_span("widen.wide_pass", packs=int(offsets[-1])):
+                    h_wide, _ = self._attend_wide_sparse(
+                        packs, segment_ids(offsets), offsets
+                    )
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            if config.use_deep:
+                num_walks = len(rows[0].deep)
+                for row in rows:
+                    if len(row.deep) != num_walks:
+                        raise ValueError(
+                            "all row sets must carry the same walk count Φ"
+                        )
+                walks = [walk for row in rows for walk in row.deep]
+                offsets = segment_offsets(
+                    np.array([walk.shape[0] for walk in walks], np.int64)
+                )
+                packs = Tensor(np.concatenate(walks, axis=0))
+                pairs = (
+                    causal_pairs(offsets) if config.use_successive else None
+                )
+                with trace_span("widen.deep_pass", packs=int(offsets[-1])):
+                    h_deep, _ = self._attend_deep_sparse(
+                        packs, segment_ids(offsets), offsets, pairs,
+                        batch, num_walks,
+                    )
+            else:
+                h_deep = Tensor(np.zeros((batch, d)))
+
+            return self._fuse_batch(h_wide, h_deep, None)
+
+    def _forward_from_blocks_sparse(
+        self,
+        blocks: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        wide_cap: int,
+        deep_cap: int,
+        num_walks: int,
+    ) -> Tensor:
+        """:meth:`forward_from_blocks` on the CSR kernels.
+
+        Gathers only the valid slots out of the capacity-padded blocks
+        (:func:`flat_slot_indices`) into flat CSR pack arrays — the
+        serving hot path reads exactly the real rows and the attention
+        stages never see capacity padding at all.
+        """
+        config = self.config
+        d = config.dim
+        batch = int(blocks.shape[0])
+        capacity = int(blocks.shape[1])
+        flat_blocks = blocks.reshape(batch * capacity, d)
+
+        with trace_span(
+            "widen.forward_from_blocks", batch=batch, kernel="sparse"
+        ):
+            if config.use_wide:
+                starts = np.arange(batch, dtype=np.int64) * capacity
+                indices, offsets = flat_slot_indices(lengths[:, 0], starts)
+                packs = Tensor(flat_blocks[indices])
+                with trace_span("widen.wide_pass", packs=int(offsets[-1])):
+                    h_wide, _ = self._attend_wide_sparse(
+                        packs, segment_ids(offsets), offsets
+                    )
+            else:
+                h_wide = Tensor(np.zeros((batch, d)))
+
+            if config.use_deep:
+                starts = (
+                    np.arange(batch, dtype=np.int64)[:, np.newaxis] * capacity
+                    + wide_cap
+                    + np.arange(num_walks, dtype=np.int64)[np.newaxis, :]
+                    * deep_cap
+                ).reshape(-1)
+                indices, offsets = flat_slot_indices(
+                    lengths[:, 1:].reshape(batch * num_walks), starts
+                )
+                packs = Tensor(flat_blocks[indices])
+                pairs = (
+                    causal_pairs(offsets) if config.use_successive else None
+                )
+                with trace_span("widen.deep_pass", packs=int(offsets[-1])):
+                    h_deep, _ = self._attend_deep_sparse(
+                        packs, segment_ids(offsets), offsets, pairs,
+                        batch, num_walks,
                     )
             else:
                 h_deep = Tensor(np.zeros((batch, d)))

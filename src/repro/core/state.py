@@ -59,11 +59,15 @@ class NeighborStateStore:
         num_deep: int,
         num_deep_walks: int,
         rng: SeedLike = None,
+        wide_sampling: str = "replace",
     ) -> None:
+        if wide_sampling not in ("replace", "unique"):
+            raise ValueError(f"unknown wide_sampling {wide_sampling!r}")
         self.graph = graph
         self.num_wide = num_wide
         self.num_deep = num_deep
         self.num_deep_walks = num_deep_walks
+        self.wide_sampling = wide_sampling
         self._rng = new_rng(rng)
         self._states: Dict[int, NeighborState] = {}
 
@@ -77,7 +81,10 @@ class NeighborStateStore:
 
     def sample_fresh(self, node: int) -> NeighborState:
         """Sample wide + Φ deep sets for ``node`` (no caching)."""
-        wide = sample_wide(self.graph, node, self.num_wide, rng=self._rng)
+        wide = sample_wide(
+            self.graph, node, self.num_wide, rng=self._rng,
+            unique=self.wide_sampling == "unique",
+        )
         deep = [
             sample_deep(self.graph, node, self.num_deep, rng=self._rng)
             for _ in range(self.num_deep_walks)

@@ -96,6 +96,7 @@ class WidenTrainer:
             num_wide=self.config.num_wide,
             num_deep=self.config.num_deep,
             num_deep_walks=self.config.num_deep_walks,
+                wide_sampling=self.config.wide_sampling,
             rng=sample_rng,
         )
         self.optimizer = Adam(
@@ -206,7 +207,7 @@ class WidenTrainer:
         wide_entropy = self._wide_entropy
         deep_entropy = self._deep_entropy
         predictions = np.empty(shuffled.size, dtype=np.int64)
-        batched = self.config.forward_mode == "batched"
+        batched = self.config.forward_mode != "per_node"
         for start in range(0, shuffled.size, batch_size):
             batch = shuffled[start : start + batch_size]
             with trace_span("trainer.batch", size=int(batch.size)):
@@ -300,7 +301,7 @@ class WidenTrainer:
             return
         sample = others[self._shuffle_rng.permutation(others.size)[:count]]
         with no_grad():
-            if self.config.forward_mode == "batched":
+            if self.config.forward_mode != "per_node":
                 batch_size = max(1, self.config.batch_size)
                 for start in range(0, sample.size, batch_size):
                     chunk = sample[start : start + batch_size]
@@ -537,6 +538,7 @@ class WidenTrainer:
             num_wide=self.config.num_wide,
             num_deep=self.config.num_deep,
             num_deep_walks=self.config.num_deep_walks,
+                wide_sampling=self.config.wide_sampling,
             rng=new_rng(rng),
         )
         if self.config.embedding_mode != "replace":
@@ -550,7 +552,7 @@ class WidenTrainer:
                 frontier.update(deep.nodes.tolist())
         frontier -= set(int(v) for v in nodes)
         self.model.eval()
-        batched = self.config.forward_mode == "batched"
+        batched = self.config.forward_mode != "per_node"
         batch_size = max(1, self.config.batch_size)
         warm_nodes = np.asarray(sorted(frontier), dtype=np.int64)
         with no_grad():
@@ -582,7 +584,7 @@ class WidenTrainer:
         node_ids = np.asarray([int(node) for node in nodes], dtype=np.int64)
         rows = []
         with no_grad():
-            if self.config.forward_mode == "batched" and node_ids.size:
+            if self.config.forward_mode != "per_node" and node_ids.size:
                 batch_size = max(1, self.config.batch_size)
                 for start in range(0, node_ids.size, batch_size):
                     chunk = node_ids[start : start + batch_size]

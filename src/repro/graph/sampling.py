@@ -85,6 +85,7 @@ def sample_wide(
     target: int,
     num_wide: int,
     rng: SeedLike = None,
+    unique: bool = False,
 ) -> WideNeighborSet:
     """Uniformly sample up to ``num_wide`` first-order neighbors of ``target``.
 
@@ -92,6 +93,13 @@ def sample_wide(
     replacement otherwise (the GraphSAGE convention the paper builds on), so
     the returned set always has ``min(num_wide, 1) <= len <= num_wide`` except
     for isolated nodes which yield an empty set.
+
+    With ``unique=True`` a below-cap node contributes each neighbor exactly
+    once instead of being oversampled to the cap (``wide_sampling="unique"``
+    in :class:`~repro.core.config.WidenConfig`): no duplicated messages, and
+    pack lengths track true degrees — on skewed graphs most packs become
+    much shorter than the cap, which is the regime the CSR sparse forward
+    kernels are built for.
     """
     if num_wide < 1:
         raise ValueError(f"num_wide must be >= 1, got {num_wide}")
@@ -104,6 +112,8 @@ def sample_wide(
             )
         if neighbors.size >= num_wide:
             pick = rng.choice(neighbors.size, size=num_wide, replace=False)
+        elif unique:
+            pick = np.arange(neighbors.size)
         else:
             pick = rng.choice(neighbors.size, size=num_wide, replace=True)
         return WideNeighborSet(target, neighbors[pick], etypes[pick])

@@ -178,6 +178,125 @@ def run_tuning(
     return report
 
 
+# ----------------------------------------------------------------------
+# Padded vs sparse forward crossover (``tune-kernels``)
+# ----------------------------------------------------------------------
+#
+# The ``forward_mode="auto"`` dispatch needs one number per host: the
+# padding-waste fraction at which the CSR segment kernels overtake the
+# padded-grid attention.  The sweep times a representative attention stage
+# (key/value projection, scoring, softmax, weighted aggregation) both ways
+# over the same segment geometry at several waste levels.
+
+WASTE_SWEEP = (0.0, 0.2, 0.35, 0.5, 0.65, 0.8)
+_FORWARD_BATCH = 64
+_FORWARD_WIDTH = 24
+
+
+def _waste_lengths(
+    batch: int, width: int, waste: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Segment lengths whose padded grid wastes ~``waste`` of its slots."""
+    target_mean = max(1.0, (1.0 - waste) * width)
+    lengths = np.clip(
+        rng.poisson(target_mean, batch), 1, width
+    ).astype(np.int64)
+    # Pin one segment to the full width so the padded grid is `width` wide
+    # regardless of the draw — that is what skew does on real graphs.
+    lengths[int(rng.integers(batch))] = width
+    return lengths
+
+
+def _time_forward(run, repeats: int) -> float:
+    run()  # warm up (allocator, BLAS thread pool)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def sweep_forward_crossover(
+    dim: int = 64,
+    batch: int = _FORWARD_BATCH,
+    width: int = _FORWARD_WIDTH,
+    repeats: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict[str, float]]:
+    """Time the padded vs sparse attention stage across waste levels."""
+    from repro.tensor import functional as functional_mod
+    from repro.tensor import ops as ops_mod
+    from repro.tensor.tensor import Tensor, no_grad
+
+    rng = rng or np.random.default_rng(2)
+    w_key = rng.standard_normal((dim, dim))
+    w_value = rng.standard_normal((dim, dim))
+    rows = []
+    for waste in WASTE_SWEEP:
+        lengths = _waste_lengths(batch, width, waste, rng)
+        offsets = np.zeros(batch + 1, np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        flat = rng.standard_normal((total, dim))
+        query = rng.standard_normal((batch, dim))
+        seg_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
+        # Padded operands, identical convention to pack_batch: zero rows
+        # beyond each segment's length, additive -inf mask.
+        padded = np.zeros((batch, width, dim))
+        valid = np.arange(width) < lengths[:, np.newaxis]
+        padded[valid] = flat
+        mask = np.where(valid, 0.0, -np.inf)[:, np.newaxis, :]
+        scale = np.sqrt(dim)
+
+        def run_padded():
+            with no_grad():
+                packs = Tensor(padded)
+                k = ops_mod.matmul(packs, Tensor(w_key))
+                v = ops_mod.matmul(packs, Tensor(w_value))
+                q = Tensor(query[:, np.newaxis, :])
+                scores = ops_mod.matmul(q, k, transpose_b=True)
+                weights = functional_mod.masked_softmax(
+                    scores, mask, scale=scale
+                )
+                ops_mod.matmul(weights, v)
+
+        def run_sparse():
+            with no_grad():
+                packs = Tensor(flat)
+                k = ops_mod.matmul(packs, Tensor(w_key))
+                v = ops_mod.matmul(packs, Tensor(w_value))
+                scores = ops_mod.sddmm(Tensor(query), k, seg_ids)
+                weights = ops_mod.segment_softmax(scores, offsets, scale=scale)
+                ops_mod.segment_matmul(weights, v, None, offsets)
+
+        achieved = 1.0 - total / (batch * width)
+        rows.append(
+            {
+                "waste": float(achieved),
+                "target_waste": float(waste),
+                "padded_s": _time_forward(run_padded, repeats),
+                "sparse_s": _time_forward(run_sparse, repeats),
+            }
+        )
+    rows.sort(key=lambda row: row["waste"])
+    return rows
+
+
+def recommend_forward(rows: List[dict]) -> float:
+    """``sparse_min_waste`` implied by the sweep.
+
+    The smallest swept waste from which sparse wins at every higher level
+    — one noisy win below the real crossover must not route near-uniform
+    batches off the gemm path.  1.0 (never) when sparse never sustains a
+    win; 0.0 (always) when it wins everywhere.
+    """
+    for i, row in enumerate(rows):
+        if all(r["sparse_s"] < r["padded_s"] for r in rows[i:]):
+            return float(row["waste"])
+    return 1.0
+
+
 def format_report(report: Dict[str, object]) -> str:
     """The sweep as a printable table plus the env export lines."""
     lines = [

@@ -145,6 +145,39 @@ class TestTuneScatter:
             set_scatter_thresholds(**before)
 
 
+class TestTuneKernels:
+    def test_sweep_writes_table_and_tuning_report(self, capsys, tmp_path):
+        from repro.tensor import get_scatter_thresholds, kernels, ops
+
+        table_out = tmp_path / "kernel_table.json"
+        tuning_out = tmp_path / "tuning.json"
+        before_scatter = get_scatter_thresholds()
+        before_forward = kernels.get_forward_selection()
+        try:
+            assert main([
+                "tune-kernels", "--repeats", "2", "--dim", "8",
+                "--table-out", str(table_out),
+                "--tuning-out", str(tuning_out),
+            ]) == 0
+            printed = capsys.readouterr().out
+            assert "kernel-selection table" in printed
+            assert str(table_out) in printed
+            table = json.loads(table_out.read_text())
+            assert table["version"] == kernels.KERNEL_TABLE_VERSION
+            assert 0.0 <= table["forward"]["sparse_min_waste"] <= 1.0
+            assert table["scatter"]["sparse_min_rows"] >= 0
+            assert len(table["sweeps"]["forward"]) > 0
+            assert tuning_out.exists()
+            # The run applied the table to the live process, and a fresh
+            # auto_apply of the written file round-trips the same values.
+            assert get_scatter_thresholds() == table["scatter"]
+            applied = kernels.auto_apply(table_out)
+            assert applied is not None
+        finally:
+            ops.set_scatter_thresholds(**before_scatter)
+            kernels.set_forward_selection(**before_forward)
+
+
 class TestServeClusterCli:
     def test_smoke_with_transport_and_metrics_port(self, capsys):
         assert main([

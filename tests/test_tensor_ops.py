@@ -389,7 +389,9 @@ class TestScatterThresholds:
 
     def test_env_override_and_validation(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCATTER_SPARSE_MIN_ROWS", "17")
-        assert ops._scatter_thresholds_from_env()["sparse_min_rows"] == 17
+        thresholds, env_keys = ops._scatter_thresholds_from_env()
+        assert thresholds["sparse_min_rows"] == 17
+        assert env_keys == {"sparse_min_rows"}
         monkeypatch.setenv("REPRO_SCATTER_SPARSE_MIN_ROWS", "many")
         with pytest.raises(ValueError, match="integer"):
             ops._scatter_thresholds_from_env()
