@@ -3,7 +3,8 @@
 Replays one deterministic Poisson/Zipf trace through a single
 :class:`InferenceServer` and through :class:`ClusterRouter` fleets of 1, 2
 and 4 halo-replicated shards on each transport (``inline``, ``thread``,
-``mp``), all on the logical service clock the serving benches share:
+``mp``, ``socket``), all on the logical service clock the serving benches
+share:
 arrivals and batch deadlines come from the trace, compute time is measured
 for real, and each shard serializes its own batches behind a busy-until
 watermark.  Shard parallelism therefore shows up the honest way — as
@@ -23,6 +24,12 @@ Claims asserted:
 3. Per-shard telemetry survives aggregation: the merged Prometheus
    exposition carries shard-labeled latency/batch/cache series for every
    shard.
+4. Kill-and-recover: SIGKILL one socket worker mid-stream; the fleet
+   detects a typed ``WorkerDown`` (never a generic timeout), respawns the
+   shard from checkpoint + serialized plan, replays the mutation log, and
+   every post-recovery answer matches the single-server reference exactly.
+   The ``kill_recover`` section records the detect/respawn/replay
+   breakdown.
 
 Run ``python benchmarks/bench_cluster.py --smoke`` for the CI-sized gate
 (writes ``BENCH_cluster.json``); without ``--smoke`` the trace and graph
@@ -43,8 +50,9 @@ from repro.datasets import make_acm
 from repro.serve import InferenceServer, ModelRegistry, make_trace, replay
 
 SHARD_COUNTS = (1, 2, 4)
-TRANSPORTS = ("inline", "thread", "mp")
+TRANSPORTS = ("inline", "thread", "mp", "socket")
 ASSERTED_TRANSPORTS = ("inline", "mp")
+SOCKET_SHARD_COUNTS = (2,)  # socket rows: spawn cost dominates, one size
 SPEEDUP_FLOOR = 1.5
 MAX_ATTEMPTS = 3
 
@@ -76,6 +84,49 @@ def run_bench(out_path, *, scale=0.5, epochs=2, requests=240, rate=50_000.0,
             out_path, root, scale=scale, epochs=epochs, requests=requests,
             rate=rate, zipf=zipf, seed=seed,
         )
+
+
+def _measure_kill_recover(checkpoint, probe, *, seed, scale):
+    """SIGKILL one worker of a 2-shard socket fleet between mutations and
+    serves; return the detect/respawn/replay breakdown plus exactness of
+    every post-recovery answer against a single-server reference."""
+    graph = _fresh_graph(seed, scale)
+    single = InferenceServer(
+        WidenClassifier.load(checkpoint, graph=graph), graph, seed=seed
+    )
+    router = ClusterRouter.from_checkpoint(
+        checkpoint, _fresh_graph(seed, scale), 2, transport="socket",
+        seed=seed, partition_seed=seed,
+    )
+    try:
+        dim = router.graph.features.shape[1]
+        pre_exact = bool(
+            np.array_equal(router.embed(probe), single.embed(probe))
+        )
+        for target in (router, single):
+            added = target.add_nodes("paper", features=np.full((2, dim), 0.3))
+            target.add_edges(
+                "paper-author", [int(added[0]), int(added[1])], [1, 3]
+            )
+        router.shard_registry.kill(0)
+        time.sleep(0.05)
+        nodes = np.append(probe, added)
+        post_exact = bool(
+            np.array_equal(router.embed(nodes), single.embed(nodes))
+        )
+        summary = router.fleet.summary()
+        events = summary["worker_down_events"]
+        recoveries = summary["recoveries"]
+        return {
+            "shards": 2,
+            "pre_kill_exact": pre_exact,
+            "post_recovery_exact": post_exact,
+            "worker_down_reason": events[0]["reason"] if events else None,
+            "recoveries": recoveries,
+            "respawns": int(router.workers[0].respawns),
+        }
+    finally:
+        router.close()
 
 
 def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
@@ -166,7 +217,10 @@ def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
         return stats
 
     for transport in TRANSPORTS:
-        for num_shards in SHARD_COUNTS:
+        shard_counts = (
+            SOCKET_SHARD_COUNTS if transport == "socket" else SHARD_COUNTS
+        )
+        for num_shards in shard_counts:
             floor = (
                 SPEEDUP_FLOOR
                 if transport in ASSERTED_TRANSPORTS
@@ -193,6 +247,11 @@ def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
             report["transport_fleets"].append(stats)
             if transport == "inline":
                 report["fleets"].append(stats)
+    # -- kill -9 one socket worker mid-stream, assert exact recovery ----
+    report["kill_recover"] = _measure_kill_recover(
+        checkpoint, probe, seed=seed, scale=scale
+    )
+
     prometheus_text = prometheus_state["text"]
 
     samples = [
@@ -218,6 +277,15 @@ def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
               f"{stats['latency_p95_ms']:>9.3f}"
               f"{stats['wire_wall_seconds']:>8.3f}"
               f"{str(stats['exact_match']):>7}")
+    recover = report["kill_recover"]
+    recovery = recover["recoveries"][0] if recover["recoveries"] else {}
+    print(f"kill -9 recovery: reason={recover['worker_down_reason']} "
+          f"mode={recovery.get('mode')} "
+          f"detect {recovery.get('detect_s', 0) * 1e3:.1f} ms, "
+          f"respawn {recovery.get('respawn_s', 0) * 1e3:.1f} ms, "
+          f"replay {recovery.get('replay_s', 0) * 1e3:.1f} ms "
+          f"({recovery.get('replayed_commands')} commands), "
+          f"exact={recover['post_recovery_exact']}")
     print(f"prometheus: {report['prometheus_samples']} shard-labeled samples "
           f"-> {out_path}")
 
@@ -255,6 +323,15 @@ def _run_bench(out_path, registry_root, *, scale, epochs, requests, rate,
         assert f'shard="{shard}"' in (prometheus_text or ""), (
             f"no shard=\"{shard}\" series in the Prometheus exposition"
         )
+    # Claim 4: the killed worker came back exact, via a typed WorkerDown
+    # and a mutation-log replay — never a silent stale answer.
+    assert recover["pre_kill_exact"] and recover["post_recovery_exact"], (
+        f"socket fleet diverged around the kill: {recover}"
+    )
+    assert recover["worker_down_reason"] in (
+        "connection_reset", "send_failed", "heartbeat_missed",
+    ), f"kill was not detected as a typed WorkerDown: {recover}"
+    assert recover["recoveries"] and recover["recoveries"][0]["mode"] == "replay"
     return report
 
 

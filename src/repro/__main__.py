@@ -20,9 +20,18 @@ Commands
     scatter-gather router, and print the cluster report: per-shard
     ownership/halo/latency plus cluster throughput.  ``--transport``
     selects the shard boundary: ``inline`` (deterministic replay, default),
-    ``thread`` (worker threads), or ``mp`` (worker processes rebuilt from
-    the checkpoint).  ``--prometheus-out`` writes the merged shard-labeled
+    ``thread`` (worker threads), ``mp`` (worker processes rebuilt from
+    the checkpoint), or ``socket`` (TCP workers with heartbeats, respawn,
+    and mutation-log catch-up; ``--workers host:port,...`` points at
+    pre-started ``shard-worker`` processes, otherwise workers are spawned
+    locally).  ``--prometheus-out`` writes the merged shard-labeled
     Prometheus exposition.
+``shard-worker --listen HOST:PORT``
+    Run one shard-engine server speaking the length-prefixed TCP framing
+    of :mod:`repro.cluster.net`.  Port 0 picks a free port; the bound
+    address is announced as ``LISTENING host port`` on stdout.  Point a
+    ``serve-cluster --transport socket --workers`` fleet at one of these
+    per shard to span hosts.
 ``store-build [dataset] [--out DIR] [--checkpoint F] [--epochs N]``
     Materialize every node's wide/deep aggregate rows into a versioned
     on-disk store (:mod:`repro.store`).  Loads ``--checkpoint`` when
@@ -352,9 +361,14 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-registry-") as root:
         registry = ModelRegistry(root)
         path = registry.save(f"widen-{dataset.name}", model)
+        workers = (
+            [w.strip() for w in args.workers.split(",") if w.strip()]
+            if args.workers else None
+        )
         router = ClusterRouter.from_checkpoint(
             path, dataset.graph, args.shards,
             transport=args.transport,
+            workers=workers,
             max_batch_size=args.batch_size, max_wait=args.max_wait,
             cache_capacity=args.cache_capacity, seed=args.seed,
             partition_seed=args.seed,
@@ -513,6 +527,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if mismatched else 0
 
 
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.net import DEFAULT_MAX_FRAME_BYTES, ShardWorkerServer
+
+    listen = args.listen or "127.0.0.1:0"
+    host, _, port = listen.rpartition(":")
+    if not host:
+        host, port = "127.0.0.1", listen
+    server = ShardWorkerServer(
+        host=host,
+        port=int(port),
+        max_frame_bytes=args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES,
+    )
+    return server.serve_forever()
+
+
 def _cmd_tune_scatter(args: argparse.Namespace) -> int:
     import json
 
@@ -552,7 +581,7 @@ def main(argv=None) -> int:
         choices=(
             "stats", "train", "compare", "serve-bench", "serve-cluster",
             "store-build", "profile", "tune-scatter", "tune-kernels",
-            "trace",
+            "trace", "shard-worker",
         ),
     )
     parser.add_argument("dataset", nargs="?", default=None,
@@ -597,10 +626,17 @@ def main(argv=None) -> int:
     cluster = parser.add_argument_group("serve-cluster")
     cluster.add_argument("--shards", type=int, default=2,
                          help="number of halo-replicated shards")
-    cluster.add_argument("--transport", choices=("inline", "thread", "mp"),
+    cluster.add_argument("--transport",
+                         choices=("inline", "thread", "mp", "socket"),
                          default="inline",
                          help="shard boundary: inline (deterministic "
-                              "replay), thread workers, or mp processes")
+                              "replay), thread workers, mp processes, or "
+                              "socket TCP workers")
+    cluster.add_argument("--workers", default=None,
+                         help="socket transport: comma-separated "
+                              "host:port list of pre-started shard-worker "
+                              "processes, one per shard (default: spawn "
+                              "local workers)")
     cluster.add_argument("--smoke", action="store_true",
                          help="CI-sized run: caps scale/epochs/requests")
     cluster.add_argument("--prometheus-out", default=None,
@@ -638,6 +674,14 @@ def main(argv=None) -> int:
                       help="tune-kernels: kernel-selection table path "
                            "(default: REPRO_KERNEL_TABLE or "
                            "~/.cache/repro/kernel_table.json)")
+    net = parser.add_argument_group("shard-worker")
+    net.add_argument("--listen", default=None,
+                     help="shard-worker: host:port to listen on "
+                          "(port 0 picks a free port; the bound address "
+                          "is announced as 'LISTENING host port')")
+    net.add_argument("--max-frame-bytes", type=int, default=None,
+                     help="shard-worker: reject frames larger than this "
+                          "many bytes (default 1 GiB)")
     args = parser.parse_args(argv)
     args.dataset = args.dataset or args.dataset_flag
     if args.command == "profile" and args.metrics_out is None:
@@ -653,6 +697,7 @@ def main(argv=None) -> int:
         "tune-scatter": _cmd_tune_scatter,
         "tune-kernels": _cmd_tune_kernels,
         "trace": _cmd_trace,
+        "shard-worker": _cmd_shard_worker,
     }
     return handlers[args.command](args)
 

@@ -13,8 +13,16 @@ while preserving its exact semantics:
 - :mod:`~repro.cluster.transport` — the pluggable message boundary: typed
   :class:`Envelope`/:class:`Reply` pairs over ``inline`` (deterministic
   replay on the caller's thread, pickle round-trip included), ``thread``
-  (bounded-inbox worker thread) or ``mp`` (one OS process per shard,
-  rebuilt from checkpoint + shard payload on spawn).
+  (bounded-inbox worker thread), ``mp`` (one OS process per shard,
+  rebuilt from checkpoint + shard payload on spawn) or ``socket``
+  (TCP workers, possibly on other hosts — see below).
+- :mod:`~repro.cluster.net` — the ``socket`` lane: length-prefixed TCP
+  framing for the same pickle protocol, a ``python -m repro shard-worker``
+  server entrypoint, heartbeat liveness riding ``clock`` envelopes, and a
+  :class:`FleetSupervisor` that turns a SIGKILL'd worker into a typed
+  :class:`WorkerDown`, respawns it from checkpoint bytes + the serialized
+  shard plan, and replays a bounded :class:`MutationLog` before
+  readmitting it to scatter-gather.
 - :mod:`~repro.cluster.engine` — the far side of the boundary: one rebuilt
   shard spec + one :class:`InferenceServer`, driven entirely by envelope
   dispatch.
@@ -32,6 +40,18 @@ transport.
 """
 
 from repro.cluster.engine import ShardEngine
+from repro.cluster.net import (
+    FleetSupervisor,
+    LocalWorkerSpawner,
+    MutationLog,
+    MutationLogHorizonError,
+    RecoveryRecord,
+    ShardRegistry,
+    ShardWorkerServer,
+    SocketTransport,
+    WorkerDown,
+    WorkerHandle,
+)
 from repro.cluster.planner import (
     AddNodesCommand,
     ClusterPlan,
@@ -50,6 +70,8 @@ from repro.cluster.transport import (
     ShardTimeoutError,
     ThreadTransport,
     Transport,
+    registered_transports,
+    validate_transport,
 )
 from repro.cluster.worker import ShardWorker
 
@@ -58,17 +80,29 @@ __all__ = [
     "ClusterPlan",
     "ClusterRouter",
     "Envelope",
+    "FleetSupervisor",
     "InlineTransport",
+    "LocalWorkerSpawner",
     "MpTransport",
+    "MutationLog",
+    "MutationLogHorizonError",
+    "RecoveryRecord",
     "RefreshCommand",
     "Reply",
     "ShardCrashError",
     "ShardEngine",
     "ShardError",
     "ShardPlanner",
+    "ShardRegistry",
     "ShardSpec",
     "ShardTimeoutError",
     "ShardWorker",
+    "ShardWorkerServer",
+    "SocketTransport",
     "ThreadTransport",
     "Transport",
+    "WorkerDown",
+    "WorkerHandle",
+    "registered_transports",
+    "validate_transport",
 ]

@@ -115,12 +115,42 @@ class ShardEngine:
 
     @classmethod
     def from_args(cls, args: Dict[str, object]) -> "ShardEngine":
-        """Entry point for spawned workers (see ``_engine_process_main``)."""
-        return cls.build(
-            args["spec_payload"],
-            config=args["config"],
-            checkpoint=args["checkpoint"],
-        )
+        """Entry point for spawned workers (see ``_engine_process_main`` and
+        :class:`repro.cluster.net.ShardWorkerServer`).
+
+        ``checkpoint`` is a path (mp workers share a filesystem with the
+        router); ``checkpoint_bytes`` is the raw ``.npz`` contents for
+        socket workers on machines that share nothing — staged through a
+        private temp file and deleted once loaded.  ``serving_state`` (when
+        present) is restored after the build, so a respawned engine adopts
+        the exact version counters of the baseline it was rebuilt from.
+        """
+        import tempfile
+
+        checkpoint = args.get("checkpoint")
+        checkpoint_bytes = args.get("checkpoint_bytes")
+        staged: Optional[str] = None
+        if checkpoint is None and checkpoint_bytes is not None:
+            fd, staged = tempfile.mkstemp(prefix="repro-ckpt-", suffix=".npz")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(checkpoint_bytes)
+            checkpoint = staged
+        try:
+            engine = cls.build(
+                args["spec_payload"],
+                config=args["config"],
+                checkpoint=checkpoint,
+            )
+        finally:
+            if staged is not None:
+                try:
+                    os.unlink(staged)
+                except OSError:
+                    pass
+        serving_state = args.get("serving_state")
+        if serving_state is not None:
+            engine.server.restore_serving_state(serving_state)
+        return engine
 
     # ------------------------------------------------------------------
     # Dispatch

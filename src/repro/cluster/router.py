@@ -48,13 +48,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.engine import ShardEngine
+from repro.cluster.net import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_MISSES,
+    DEFAULT_MAX_FRAME_BYTES,
+    FleetSupervisor,
+    LocalWorkerSpawner,
+    MutationLog,
+    ShardRegistry,
+    SocketTransport,
+    WorkerDown,
+)
 from repro.cluster.planner import ClusterPlan, ShardPlanner
 from repro.cluster.transport import (
-    TRANSPORT_KINDS,
     InlineTransport,
     MpTransport,
     ThreadTransport,
     Transport,
+    validate_transport,
 )
 from repro.cluster.worker import ShardWorker
 from repro.graph import HeteroGraph
@@ -102,20 +113,37 @@ class ClusterRouter:
         dist_tracing: bool = False,
         slo_target: Optional[SLOTarget] = None,
         slow_log_capacity: int = 16,
+        workers: Optional[Sequence[str]] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_misses: int = DEFAULT_HEARTBEAT_MISSES,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        mutation_log_capacity: int = 256,
     ) -> None:
         if transport is None:
-            transport = _MODE_ALIASES.get(mode, "thread") if mode else "thread"
+            if mode is None:
+                transport = "thread"
+            elif mode in _MODE_ALIASES:
+                transport = _MODE_ALIASES[mode]
+            else:
+                raise ValueError(
+                    f"unknown mode {mode!r}; expected one of "
+                    f"{tuple(sorted(_MODE_ALIASES))} (or pass transport=)"
+                )
         elif mode is not None:
             raise ValueError("pass either transport= or the legacy mode=, not both")
-        if transport not in TRANSPORT_KINDS:
+        # Eager validation: an unknown transport fails here, with the full
+        # registered menu, not deep inside a spawn path.
+        validate_transport(transport)
+        if transport in ("mp", "socket") and checkpoint is None:
             raise ValueError(
-                f"unknown transport {transport!r}; expected one of {TRANSPORT_KINDS}"
+                f"the {transport} transport rebuilds each shard's server in "
+                "a worker process and needs a checkpoint; construct the "
+                "router via from_checkpoint()/from_classifier()"
             )
-        if transport == "mp" and checkpoint is None:
+        if workers is not None and transport != "socket":
             raise ValueError(
-                "the mp transport rebuilds each shard's server in a worker "
-                "process and needs a checkpoint; construct the router via "
-                "from_checkpoint()/from_classifier()"
+                f"workers= (remote shard addresses) only applies to the "
+                f"socket transport, not {transport!r}"
             )
         if classifier_factory is None and checkpoint is None:
             raise ValueError("need a classifier_factory or a checkpoint")
@@ -165,6 +193,37 @@ class ClusterRouter:
             "cache_capacity": int(cache_capacity),
             "seed": int(seed),
         }
+        # Socket fleet plumbing: the worker registry (spawned loopback
+        # processes or static remote addresses), the bounded mutation log
+        # recovery replays from, and the supervisor owning both plus the
+        # per-shard rebuild baselines.  All None on in-process transports —
+        # every fleet check below is a single ``is not None``.
+        self.fleet: Optional[FleetSupervisor] = None
+        self.shard_registry: Optional[ShardRegistry] = None
+        self.mutation_log: Optional[MutationLog] = None
+        if transport == "socket":
+            if workers is None:
+                self.shard_registry = ShardRegistry(LocalWorkerSpawner())
+            else:
+                addresses = list(workers)
+                if len(addresses) != self.plan.num_shards:
+                    raise ValueError(
+                        f"workers= names {len(addresses)} addresses for "
+                        f"{self.plan.num_shards} shards"
+                    )
+                self.shard_registry = ShardRegistry.from_addresses(addresses)
+            self.mutation_log = MutationLog(mutation_log_capacity)
+            self.fleet = FleetSupervisor(
+                self,
+                self.shard_registry,
+                self.mutation_log,
+                checkpoint_bytes=Path(checkpoint).read_bytes(),
+                shard_configs={},
+                max_frame_bytes=max_frame_bytes,
+                heartbeat_interval=heartbeat_interval,
+                heartbeat_misses=heartbeat_misses,
+                start_timeout=start_timeout,
+            )
         self.workers: List[ShardWorker] = []
         for spec in self.plan.shards:
             shard_config = dict(config)
@@ -172,16 +231,19 @@ class ClusterRouter:
                 shard_config["store"] = self.store.slice_payload(
                     spec.owned.tolist()
                 )
-            channel = self._make_transport(
-                transport,
-                spec.shard_id,
-                spec.to_payload(),
-                shard_config,
-                checkpoint=checkpoint,
-                classifier_factory=classifier_factory,
-                inbox_capacity=inbox_capacity,
-                start_timeout=start_timeout,
-            )
+            if transport == "socket":
+                channel = self._make_socket_transport(spec, shard_config)
+            else:
+                channel = self._make_transport(
+                    transport,
+                    spec.shard_id,
+                    spec.to_payload(),
+                    shard_config,
+                    checkpoint=checkpoint,
+                    classifier_factory=classifier_factory,
+                    inbox_capacity=inbox_capacity,
+                    start_timeout=start_timeout,
+                )
             self.workers.append(ShardWorker(spec, channel).start())
         # Gather readiness after *all* spawns are launched, so a fleet of
         # mp workers loads its checkpoints concurrently.  Once this returns
@@ -189,6 +251,11 @@ class ClusterRouter:
         # on that to delete its temp dir).
         for worker in self.workers:
             worker.wait_ready(start_timeout)
+        if self.fleet is not None:
+            for spec in self.plan.shards:
+                self.registry.gauge(
+                    "fleet_worker_connected", shard=str(spec.shard_id)
+                ).set(1)
         self._closed = False
         # Request-lifecycle observability, both off by default — the guard
         # in _scatter_gather is a pair of ``is None`` checks, so the
@@ -244,6 +311,56 @@ class ClusterRouter:
                 shard_id, engine_factory, inbox_capacity=inbox_capacity
             )
         return InlineTransport(shard_id, engine_factory)
+
+    def _make_socket_transport(self, spec, shard_config) -> SocketTransport:
+        """One TCP channel to this shard's worker, wired to the supervisor.
+
+        Records the shard's rebuild baseline (the exact payload the worker
+        spawns from, trivial serving state, current global version) and its
+        config so a later :meth:`FleetSupervisor.recover` can reproduce the
+        engine bit for bit.  The engine arguments ship checkpoint *bytes* —
+        the worker machine needs no shared filesystem.
+        """
+        fleet = self.fleet
+        shard_id = spec.shard_id
+        fleet.shard_configs[shard_id] = shard_config
+        payload = spec.to_payload()
+        fleet.set_baseline(shard_id, payload, None, self.graph.version)
+        if self.shard_registry.spawner is not None:
+            handle = self.shard_registry.spawn(shard_id)
+        else:
+            handle = self.shard_registry.handle(shard_id)
+        return SocketTransport(
+            shard_id,
+            handle.address,
+            {
+                "spec_payload": payload,
+                "checkpoint": None,
+                "checkpoint_bytes": fleet.checkpoint_bytes,
+                "config": shard_config,
+                "serving_state": None,
+            },
+            max_frame_bytes=fleet.max_frame_bytes,
+            heartbeat_interval=fleet.heartbeat_interval,
+            heartbeat_misses=fleet.heartbeat_misses,
+            **fleet.transport_callbacks(),
+        )
+
+    def _recover_worker(self, exc: WorkerDown) -> None:
+        """React to a gather-time :class:`WorkerDown`: count it, recover.
+
+        ``shard_errors_total{kind="transport"}`` puts wire failures on the
+        same dashboard as engine error replies; the supervisor then
+        respawns + catches the worker up (or re-raises when this router
+        has no fleet to recover with).
+        """
+        shard = exc.shard_id
+        self.registry.counter(
+            "shard_errors_total", kind="transport", shard=str(shard)
+        ).inc()
+        if self.fleet is None:
+            raise exc
+        self.fleet.recover(shard, reason=exc.reason)
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -318,7 +435,16 @@ class ClusterRouter:
             pending.append((positions, reply))
         results: List[Optional[object]] = [None] * nodes.size
         for positions, reply in pending:
-            values = _unwrap_serve(reply, self.request_timeout)
+            try:
+                values = _unwrap_serve(reply, self.request_timeout)
+            except WorkerDown as exc:
+                # Serve legs are idempotent: recover the shard (respawn +
+                # mutation-log catch-up), then re-issue this exact group.
+                self._recover_worker(exc)
+                retry = self.workers[reply.shard_id].submit_serve(
+                    nodes[positions], kind, now=now
+                )
+                values = _unwrap_serve(retry, self.request_timeout)
             for position, value in zip(positions, values):
                 results[position] = value
         if kind == "embed":
@@ -380,7 +506,15 @@ class ClusterRouter:
                     else _NULL_CTX
                 )
                 with span:
-                    items = self._gather_serve(reply, dist)
+                    try:
+                        items = self._gather_serve(reply, dist)
+                    except WorkerDown as down:
+                        self._recover_worker(down)
+                        ctx = make_trace_ctx(trace_id) if dist is not None else None
+                        retry = self.workers[shard].submit_serve(
+                            nodes[positions], kind, now=now, trace_ctx=ctx
+                        )
+                        items = self._gather_serve(retry, dist)
                 shard_queue = 0.0
                 shard_compute = 0.0
                 for position, item in zip(positions, items):
@@ -434,7 +568,10 @@ class ClusterRouter:
                 len(raw.trace.get("spans", []))
             )
         if not raw.ok:
-            raise ShardError(reply.shard_id, raw.error or {})
+            error = raw.error or {}
+            if error.get("type") == "WorkerDown":
+                raise WorkerDown.from_error(reply.shard_id, error)
+            raise ShardError(reply.shard_id, error)
         items = []
         for item in raw.payload["items"]:
             if not item["ok"]:
@@ -507,6 +644,10 @@ class ClusterRouter:
         report["slow_requests"] = (
             self.slow_log.to_records() if self.slow_log is not None else []
         )
+        if self.fleet is not None:
+            # Fleet health in the same report as latency: WorkerDown
+            # events, recovery breakdowns, mutation-log occupancy.
+            report["fleet"] = self.fleet.summary()
         return report
 
     def attribution_records(self) -> List[Dict[str, object]]:
@@ -537,11 +678,16 @@ class ClusterRouter:
         )
         if features is not None:
             features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if self.fleet is not None:
+            self.fleet.before_mutation()
         owner = self.plan.place_new_nodes(new_ids.size)
         commands = self.plan.add_nodes_commands(
             owner, new_ids, type_name, features, labels, new_ids.size
         )
-        self._fanout_mutations(list(enumerate(commands)), kind="add_nodes")
+        jobs = list(enumerate(commands))
+        if self.fleet is not None:
+            self.fleet.record_mutation("add_nodes", dict(jobs))
+        self._fanout_mutations(jobs, kind="add_nodes")
         return new_ids
 
     def add_edges(self, edge_type: str, src, dst, symmetric: bool = True) -> None:
@@ -560,20 +706,33 @@ class ClusterRouter:
         changed_sources = (
             event.sources if event is not None else np.empty(0, np.int64)
         )
+        if self.fleet is not None:
+            self.fleet.before_mutation()
         jobs = []
         for spec in self.plan.shards:
             command = self.plan.refresh_command(spec, changed_sources)
             if command is not None:
                 jobs.append((spec.shard_id, command))
+        if self.fleet is not None:
+            self.fleet.record_mutation("add_edges", dict(jobs))
         self._fanout_mutations(jobs, kind="add_edges")
 
     def _fanout_mutations(self, jobs, *, kind: str) -> None:
-        """Ship per-shard commands, then gather every barrier ack."""
+        """Ship per-shard commands, then gather every barrier ack.
+
+        A worker that dies at its barrier is recovered instead of retried:
+        the command was logged *before* fan-out, so the supervisor's
+        catch-up replay applies it exactly once — re-sending here would
+        double-apply.
+        """
         pending = [
             (shard, self.workers[shard].mutate(command)) for shard, command in jobs
         ]
         for shard, reply in pending:
-            reply.result(self.request_timeout)
+            try:
+                reply.result(self.request_timeout)
+            except WorkerDown as exc:
+                self._recover_worker(exc)
             self.registry.counter(
                 "cluster_mutations_total", kind=kind, shard=str(shard)
             ).inc()
@@ -689,13 +848,24 @@ class ClusterRouter:
         whether the shards share this process or run in their own.
         """
         merged = MetricsRegistry()
+        if self.fleet is not None:
+            up = sum(
+                0 if getattr(worker.transport, "is_down", False) else 1
+                for worker in self.workers
+            )
+            self.registry.gauge("fleet_workers_connected").set(up)
         merged.merge_payload(self.registry.to_payload())
         pending = [
             (worker.spec.shard_id, worker.pull_metrics())
             for worker in self.workers
         ]
         for shard_id, reply in pending:
-            payload = reply.result(self.request_timeout)
+            try:
+                payload = reply.result(self.request_timeout)
+            except WorkerDown:
+                # A down shard has no registry to pull; the fleet gauges
+                # above already say so.  Scraping must not hang on it.
+                continue
             merged.merge_payload(
                 payload["registry"], extra_labels={"shard": str(shard_id)}
             )
@@ -741,6 +911,8 @@ class ClusterRouter:
             return
         for worker in self.workers:
             worker.stop()
+        if self.shard_registry is not None:
+            self.shard_registry.close()
         self._closed = True
 
     def __enter__(self) -> "ClusterRouter":

@@ -59,9 +59,44 @@ __all__ = [
     "ShardTimeoutError",
     "ShardCrashError",
     "TRANSPORT_KINDS",
+    "register_transport",
+    "registered_transports",
+    "validate_transport",
 ]
 
-TRANSPORT_KINDS = ("inline", "thread", "mp")
+#: Transport registry: name -> one-line description, rendered into the
+#: eager-validation error so a typo'd ``transport=`` fails at router
+#: construction with the full menu, not deep inside a spawn path.
+_TRANSPORT_REGISTRY: Dict[str, str] = {}
+
+
+def register_transport(name: str, description: str) -> None:
+    _TRANSPORT_REGISTRY[str(name)] = str(description)
+
+
+def registered_transports() -> tuple:
+    return tuple(sorted(_TRANSPORT_REGISTRY))
+
+
+def validate_transport(name: str) -> str:
+    """Eager transport-name validation; raises with the registered menu."""
+    if name in _TRANSPORT_REGISTRY:
+        return name
+    menu = "\n".join(
+        f"  {kind:<8} {_TRANSPORT_REGISTRY[kind]}"
+        for kind in registered_transports()
+    )
+    raise ValueError(
+        f"unknown transport {name!r}; registered transports:\n{menu}"
+    )
+
+
+register_transport("inline", "engine on the caller's thread (deterministic replay)")
+register_transport("thread", "bounded-inbox worker thread per shard")
+register_transport("mp", "one OS process per shard (checkpoint spawn)")
+register_transport("socket", "TCP worker per shard (repro.cluster.net; multi-host)")
+
+TRANSPORT_KINDS = ("inline", "thread", "mp", "socket")
 
 #: Envelope kinds understood by :class:`repro.cluster.engine.ShardEngine`.
 ENVELOPE_KINDS = (

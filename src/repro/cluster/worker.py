@@ -60,6 +60,7 @@ class ShardWorker:
         # Router-visible accounting (written from the routing thread only).
         self.requests_routed = 0
         self.halo_requests = 0
+        self.respawns = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -76,6 +77,13 @@ class ShardWorker:
         if not self._stopped:
             self.transport.stop()
             self._stopped = True
+
+    def swap_transport(self, transport: Transport) -> None:
+        """Readmit a recovered shard: the supervisor hands over a fresh,
+        ready, caught-up channel and every later envelope rides it.  The
+        old (down) transport is the caller's to stop."""
+        self.transport = transport
+        self.respawns += 1
 
     # ------------------------------------------------------------------
     # Request path
@@ -186,6 +194,7 @@ class ShardWorker:
             halo=int(self.spec.halo.size),
             requests_routed=self.requests_routed,
             halo_requests=self.halo_requests,
+            respawns=self.respawns,
             inbox_depth=self.inbox_depth,
             cache_size=telemetry_payload["cache_size"],
         )

@@ -91,6 +91,12 @@ DEFAULT_HELP: Dict[str, str] = {
     "serve_compute_seconds": "Compute time (flush to completion) per request.",
     "shard_errors_total": "Engine envelopes that became error replies, by kind.",
     "cluster_requests_total": "Scatter-gather requests issued by the router.",
+    "fleet_worker_connected": "1 while the shard's socket transport is up, 0 after WorkerDown.",
+    "fleet_workers_connected": "Socket workers currently connected, fleet-wide.",
+    "fleet_worker_down_total": "WorkerDown events by shard and reason.",
+    "fleet_reconnects_total": "Workers respawned and readmitted after WorkerDown.",
+    "fleet_rebuilds_total": "Recoveries forced past the mutation-log horizon (full replan).",
+    "fleet_heartbeat_age_seconds": "Round-trip age of answered heartbeats, per shard.",
     "slo_window_requests": "Requests inside the rolling SLO window.",
     "slo_error_budget_remaining": "Fraction of the SLO error budget left (1 = untouched).",
     "slo_burn_rate": "Error-budget burn rate (1 = sustainable).",
