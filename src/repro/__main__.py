@@ -102,6 +102,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.eval import micro_f1
 
     dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
+    if args.shards is not None or args.resume is not None:
+        return _train_distributed(args, dataset)
     overrides = {} if args.dim is None else {"dim": args.dim}
     model = WidenClassifier(
         seed=args.seed, forward_mode=args.forward_mode, **overrides
@@ -112,6 +114,66 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"widen on {dataset.name}: micro-F1 {score:.4f} "
           f"({np.mean(model.epoch_seconds):.3f} s/epoch, "
           f"{args.forward_mode} forward)")
+    _maybe_dump_metrics(args)
+    return 0
+
+
+def _train_distributed(args: argparse.Namespace, dataset) -> int:
+    """``train --shards K [--transport T] [--resume PATH]``: data-parallel
+    training over the cluster substrate (same flag group serve-cluster
+    parses — one partition/transport vocabulary for serving and training).
+    """
+    from pathlib import Path
+
+    from repro.cluster.train import DistributedTrainer
+    from repro.core import WidenClassifier
+    from repro.eval import micro_f1
+
+    graph, split = dataset.graph, dataset.split
+    shards = args.shards if args.shards is not None else 2
+    workers = (
+        [w.strip() for w in args.workers.split(",") if w.strip()]
+        if args.workers else None
+    )
+    fleet_kwargs = dict(transport=args.transport, workers=workers,
+                        partition_seed=args.seed)
+    resume = Path(args.resume) if args.resume else None
+    if resume is not None and resume.is_dir():
+        print(f"resuming fleet from {resume} ...")
+        fleet_kwargs.pop("partition_seed")  # the manifest owns the partition
+        trainer = DistributedTrainer.resume(resume, graph, **fleet_kwargs)
+    elif resume is not None:
+        print(f"spawning {shards} shard(s) from checkpoint {resume} ...")
+        trainer = DistributedTrainer(resume, graph, shards, **fleet_kwargs)
+    else:
+        overrides = {} if args.dim is None else {"dim": args.dim}
+        seed_model = WidenClassifier(
+            seed=args.seed, forward_mode=args.forward_mode, **overrides
+        )
+        seed_model.fit(graph, split.train, epochs=0)  # build + bind only
+        trainer = DistributedTrainer.from_classifier(
+            seed_model, graph, shards, **fleet_kwargs
+        )
+    with trainer:
+        history = trainer.fit(
+            split.train, args.epochs, checkpoint_dir=args.checkpoint_out
+        )
+        model = trainer.classifier(graph=graph)
+        if args.prometheus_out:
+            text = trainer.render_prometheus()
+            Path(args.prometheus_out).write_text(text)
+            lines = sum(1 for l in text.splitlines() if l and not l.startswith("#"))
+            print(f"wrote {lines} Prometheus samples to {args.prometheus_out}")
+    predictions = model.predict(split.test)
+    score = micro_f1(graph.labels[split.test], predictions)
+    seconds = float(np.sum(history.epoch_seconds)) or 1e-12
+    rate = history.epochs * split.train.size / seconds
+    print(f"widen on {dataset.name}: micro-F1 {score:.4f} "
+          f"({trainer.plan.num_shards} shards, {args.transport} transport, "
+          f"{np.mean(history.epoch_seconds):.3f} s/epoch, "
+          f"{rate:.0f} nodes/s, final loss {history.losses[-1]:.6f})")
+    if args.checkpoint_out:
+        print(f"fleet checkpoints in {args.checkpoint_out}")
     _maybe_dump_metrics(args)
     return 0
 
@@ -353,6 +415,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         args.scale = min(args.scale, 0.3)
         args.epochs = min(args.epochs, 1)
         args.requests = min(args.requests, 60)
+    if args.shards is None:
+        args.shards = 2
     dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
     print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
     model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
@@ -437,6 +501,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         args.scale = min(args.scale, 0.3)
         args.epochs = min(args.epochs, 1)
         args.requests = min(args.requests, 48)
+    if args.shards is None:
+        args.shards = 2
     dataset = make_dataset(args.dataset or "acm", seed=args.seed, scale=args.scale)
     print(f"training widen on {dataset.name} ({args.epochs} epochs) ...")
     model = WidenClassifier(seed=args.seed, forward_mode=args.forward_mode)
@@ -623,9 +689,11 @@ def main(argv=None) -> int:
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="expose a live Prometheus /metrics endpoint on "
                             "this port for the run (0 picks a free port)")
-    cluster = parser.add_argument_group("serve-cluster")
-    cluster.add_argument("--shards", type=int, default=2,
-                         help="number of halo-replicated shards")
+    cluster = parser.add_argument_group("cluster (serve-cluster / trace / train)")
+    cluster.add_argument("--shards", type=int, default=None,
+                         help="number of halo-replicated shards (default 2 "
+                              "for serve-cluster/trace; giving it to train "
+                              "switches on data-parallel training)")
     cluster.add_argument("--transport",
                          choices=("inline", "thread", "mp", "socket"),
                          default="inline",
@@ -642,6 +710,14 @@ def main(argv=None) -> int:
     cluster.add_argument("--prometheus-out", default=None,
                          help="write the merged shard-labeled Prometheus "
                               "text exposition to this path")
+    cluster.add_argument("--resume", default=None,
+                         help="train: resume from a fleet checkpoint "
+                              "directory (manifest.json + shard-K.npz) or a "
+                              "single v3 checkpoint file")
+    cluster.add_argument("--checkpoint-out", default=None,
+                         help="train: snapshot every shard into this "
+                              "directory at each epoch boundary (the "
+                              "elastic-resume unit)")
     store = parser.add_argument_group("store")
     store.add_argument("--store", default=None,
                        help="serve-bench/serve-cluster: serve cache misses "

@@ -37,9 +37,17 @@ The contract throughout: sharding — and the transport it runs on — is a
 deployment decision, not a semantics change. ``ClusterRouter.embed(nodes)``
 equals a single server's output bit for bit, for any shard count, on every
 transport.
+
+:mod:`~repro.cluster.train` extends the same substrate to data-parallel
+*training*: :class:`TrainEngine` answers the ``train_*`` envelope family
+with a partition-local :class:`~repro.core.trainer.WidenTrainer` replica,
+:class:`TrainWorker` is its coordinator stub speaking the
+:class:`~repro.core.train_loop.TrainLoop` client protocol, and
+:class:`DistributedTrainer` plans, spawns, reduces gradients and
+checkpoints the fleet for elastic resume.
 """
 
-from repro.cluster.engine import ShardEngine
+from repro.cluster.engine import ShardEngine, build_engine_from_args
 from repro.cluster.net import (
     FleetSupervisor,
     LocalWorkerSpawner,
@@ -60,6 +68,7 @@ from repro.cluster.planner import (
     ShardSpec,
 )
 from repro.cluster.router import ClusterRouter
+from repro.cluster.train import DistributedTrainer, TrainEngine, TrainWorker
 from repro.cluster.transport import (
     Envelope,
     InlineTransport,
@@ -79,6 +88,7 @@ __all__ = [
     "AddNodesCommand",
     "ClusterPlan",
     "ClusterRouter",
+    "DistributedTrainer",
     "Envelope",
     "FleetSupervisor",
     "InlineTransport",
@@ -100,9 +110,12 @@ __all__ = [
     "ShardWorkerServer",
     "SocketTransport",
     "ThreadTransport",
+    "TrainEngine",
+    "TrainWorker",
     "Transport",
     "WorkerDown",
     "WorkerHandle",
+    "build_engine_from_args",
     "registered_transports",
     "validate_transport",
 ]

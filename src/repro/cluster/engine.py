@@ -52,6 +52,25 @@ from repro.obs.tracing import Tracer, set_thread_tracer
 from repro.serve.server import InferenceServer
 
 
+def build_engine_from_args(args: Dict[str, object]):
+    """Build whichever engine family ``args`` asks for.
+
+    The single dispatch point every spawned worker uses
+    (``_engine_process_main`` for mp, ``ShardWorkerServer`` for sockets):
+    ``args["engine"]`` selects ``"serve"`` (default, and the implicit value
+    in every pre-training spawn payload) or ``"train"`` — same wire shape,
+    same ready-handshake, different envelope vocabulary behind it.
+    """
+    family = args.get("engine", "serve")
+    if family == "serve":
+        return ShardEngine.from_args(args)
+    if family == "train":
+        from repro.cluster.train import TrainEngine
+
+        return TrainEngine.from_args(args)
+    raise ValueError(f"unknown engine family {family!r}")
+
+
 class ShardEngine:
     """One shard's serving state plus the envelope dispatch loop."""
 

@@ -617,7 +617,7 @@ class ShardWorkerServer:
     # -- one session ---------------------------------------------------
 
     def _serve_session(self, conn: socket.socket) -> str:
-        from repro.cluster.engine import ShardEngine
+        from repro.cluster.engine import build_engine_from_args
         from repro.cluster.transport import _safe_handle
 
         send_lock = threading.Lock()
@@ -645,7 +645,7 @@ class ShardWorkerServer:
             )
             return "reset"
         try:
-            engine = ShardEngine.from_args(spawn.payload["engine_args"])
+            engine = build_engine_from_args(spawn.payload["engine_args"])
         except BaseException as exc:
             reply_out(Reply(seq=READY_SEQ, ok=False, error=error_info(exc)))
             return "reset"

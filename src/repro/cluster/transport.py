@@ -98,7 +98,9 @@ register_transport("socket", "TCP worker per shard (repro.cluster.net; multi-hos
 
 TRANSPORT_KINDS = ("inline", "thread", "mp", "socket")
 
-#: Envelope kinds understood by :class:`repro.cluster.engine.ShardEngine`.
+#: Envelope kinds understood by :class:`repro.cluster.engine.ShardEngine`
+#: (``serve`` family) and :class:`repro.cluster.train.TrainEngine` (``train``
+#: family — the phase commands of :class:`repro.core.train_loop.TrainLoop`).
 ENVELOPE_KINDS = (
     "serve",
     "replay",
@@ -109,6 +111,12 @@ ENVELOPE_KINDS = (
     "clock",
     "reset",
     "shutdown",
+    "train_epoch_begin",
+    "train_microbatch",
+    "train_grads",
+    "train_apply",
+    "train_epoch_end",
+    "train_checkpoint",
 )
 
 #: Sequence number of the spawn-handshake reply an engine process sends
@@ -400,15 +408,16 @@ def _engine_process_main(engine_args: bytes, inbox, outbox) -> None:
     """Entry point of one shard worker process.
 
     Rebuilds the engine from explicitly pickled arguments (shard payload +
-    checkpoint path + server config), acknowledges with a ready reply, then
-    serves the envelope stream FIFO until a shutdown envelope.  Every
-    failure — including construction — travels back as an error reply;
-    the process never raises across the pipe.
+    checkpoint path + config — the ``engine`` key picks serving vs training,
+    see :func:`repro.cluster.engine.build_engine_from_args`), acknowledges
+    with a ready reply, then serves the envelope stream FIFO until a
+    shutdown envelope.  Every failure — including construction — travels
+    back as an error reply; the process never raises across the pipe.
     """
     try:
-        from repro.cluster.engine import ShardEngine
+        from repro.cluster.engine import build_engine_from_args
 
-        engine = ShardEngine.from_args(pickle.loads(engine_args))
+        engine = build_engine_from_args(pickle.loads(engine_args))
     except BaseException as exc:
         outbox.put(Reply(seq=READY_SEQ, ok=False, error=error_info(exc)))
         return

@@ -23,6 +23,7 @@ from repro.core.config import WidenConfig
 from repro.core.model import WidenModel
 from repro.core.relay import RelayRecipe, prune_deep, shrink_wide
 from repro.core.state import NeighborState, NeighborStateStore
+from repro.core.train_loop import LocalTrainClient, TrainHistory, TrainLoop
 from repro.core.trainer import WidenTrainer
 from repro.core.ablation import ABLATION_VARIANTS, make_variant_config
 from repro.core.analysis import downsampling_summary, edge_type_attention_profile
@@ -35,6 +36,9 @@ __all__ = [
     "WidenConfig",
     "WidenModel",
     "WidenTrainer",
+    "TrainLoop",
+    "TrainHistory",
+    "LocalTrainClient",
     "RelayRecipe",
     "prune_deep",
     "shrink_wide",

@@ -60,15 +60,29 @@ class NeighborStateStore:
         num_deep_walks: int,
         rng: SeedLike = None,
         wide_sampling: str = "replace",
+        sample_seeding: str = "stream",
     ) -> None:
         if wide_sampling not in ("replace", "unique"):
             raise ValueError(f"unknown wide_sampling {wide_sampling!r}")
+        if sample_seeding not in ("stream", "per_node"):
+            raise ValueError(f"unknown sample_seeding {sample_seeding!r}")
         self.graph = graph
         self.num_wide = num_wide
         self.num_deep = num_deep
         self.num_deep_walks = num_deep_walks
         self.wide_sampling = wide_sampling
+        self.sample_seeding = sample_seeding
         self._rng = new_rng(rng)
+        # Per-node seeding: one base seed drawn from the stream rng at
+        # construction, then every node samples from its own
+        # ``default_rng((base_seed, node))`` — the initial sets become a
+        # pure function of the node id, independent of first-touch order.
+        # That is what lets a partition-local shard draw bit-identical
+        # sets to a whole-graph trainer (the shard graph's adjacency lists
+        # are verbatim within its closure; see repro.cluster.planner).
+        self._base_seed: Optional[int] = None
+        if sample_seeding == "per_node":
+            self._base_seed = int(self._rng.integers(2**63 - 1))
         self._states: Dict[int, NeighborState] = {}
 
     def get(self, node: int) -> NeighborState:
@@ -81,22 +95,39 @@ class NeighborStateStore:
 
     def sample_fresh(self, node: int) -> NeighborState:
         """Sample wide + Φ deep sets for ``node`` (no caching)."""
+        rng = self._rng
+        if self._base_seed is not None:
+            rng = np.random.default_rng((self._base_seed, int(node)))
         wide = sample_wide(
-            self.graph, node, self.num_wide, rng=self._rng,
+            self.graph, node, self.num_wide, rng=rng,
             unique=self.wide_sampling == "unique",
         )
         deep = [
-            sample_deep(self.graph, node, self.num_deep, rng=self._rng)
+            sample_deep(self.graph, node, self.num_deep, rng=rng)
             for _ in range(self.num_deep_walks)
         ]
         return NeighborState(wide=wide, deep=deep)
 
     def rng_state(self) -> dict:
-        """Serializable bit-generator state of the sampling rng."""
-        return self._rng.bit_generator.state
+        """Serializable snapshot of the sampling rng.
+
+        The historical (stream-seeded) shape is the raw bit-generator state
+        dict, kept as-is so existing checkpoints round-trip unchanged;
+        per-node seeding wraps it to carry the base seed too.
+        """
+        if self._base_seed is None:
+            return self._rng.bit_generator.state
+        return {
+            "stream": self._rng.bit_generator.state,
+            "base_seed": int(self._base_seed),
+        }
 
     def load_rng_state(self, state: dict) -> None:
-        self._rng.bit_generator.state = state
+        if "stream" in state and "bit_generator" not in state:
+            self._rng.bit_generator.state = state["stream"]
+            self._base_seed = int(state["base_seed"])
+        else:
+            self._rng.bit_generator.state = state
 
     def __len__(self) -> int:
         return len(self._states)

@@ -1,9 +1,26 @@
-"""WIDEN's training loop — Algorithm 3 of the paper.
+"""WIDEN's trainer — the graph-bound phases of Algorithm 3.
 
-The trainer owns the persistent neighbor states (sampled once, line 3), runs
-minibatch epochs, and after every per-node forward decides — via the
-KL-divergence trigger of Eq. 9 — whether to actively downsample that node's
-wide set (Algorithm 1) or deep sequences (Algorithm 2).
+The trainer owns the persistent neighbor states (sampled once, line 3), the
+model replica and the optimizer, and after every per-node forward decides —
+via the KL-divergence trigger of Eq. 9 — whether to actively downsample that
+node's wide set (Algorithm 1) or deep sequences (Algorithm 2).
+
+Epoch sequencing lives in :class:`~repro.core.train_loop.TrainLoop`; this
+class exposes Algorithm 3 as composable phases the loop drives:
+
+- :meth:`WidenTrainer.epoch_begin` — neighbor-state refresh + the epoch's
+  shuffled minibatch schedule (plus an optional owned-node filter for
+  partition-local training);
+- :meth:`WidenTrainer.run_microbatch` — forward/backward over one schedule
+  slice, gradients left on the parameters;
+- :meth:`WidenTrainer.export_grads` / :meth:`WidenTrainer.apply_update` —
+  the gradient-reduction seam: grads out, (reduced grads, global norm) in,
+  then clipped optimizer step;
+- :meth:`WidenTrainer.epoch_finish` — per-epoch stats payload.
+
+:meth:`WidenTrainer.fit` is the classic entry point, now a thin wrapper
+running a single-client :class:`~repro.core.train_loop.TrainLoop` — the
+same driver distributed training uses over a fleet of shard engines.
 
 Inference helpers:
 
@@ -17,7 +34,6 @@ Inference helpers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -26,51 +42,21 @@ from repro.core.config import WidenConfig
 from repro.core.model import WidenModel
 from repro.core.relay import prune_deep, shrink_wide
 from repro.core.state import NeighborState, NeighborStateStore
-from repro.eval.metrics import macro_f1, micro_f1
+from repro.core.train_loop import LocalTrainClient, TrainHistory, TrainLoop
 from repro.graph import HeteroGraph
-from repro.obs import MetricsRegistry, Timer, get_registry
+from repro.obs import MetricsRegistry, get_registry
 from repro.obs.tracing import span as trace_span
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, functional as F, no_grad, ops
 from repro.utils.rng import SeedLike, new_rng, spawn_rngs
+
+__all__ = ["TrainHistory", "WidenTrainer"]
 
 
 def _entropy(distribution: np.ndarray) -> float:
     """Shannon entropy of an attention distribution (nats)."""
     p = np.clip(distribution, 1e-12, None)
     return float(-(p * np.log(p)).sum())
-
-
-@dataclass
-class TrainHistory:
-    """Per-epoch records produced by :meth:`WidenTrainer.fit`.
-
-    ``wide_messages`` / ``deep_messages`` count the message packs that
-    actually flowed through PASS° / PASS▷ that epoch (set size + 1 target
-    pack per forward) — the structural quantity behind the paper's
-    efficiency figures, and what the downsampling tests assert on instead
-    of wall-clock seconds.
-    """
-
-    losses: List[float] = field(default_factory=list)
-    epoch_seconds: List[float] = field(default_factory=list)
-    wide_drops: List[int] = field(default_factory=list)
-    deep_drops: List[int] = field(default_factory=list)
-    wide_messages: List[int] = field(default_factory=list)
-    deep_messages: List[int] = field(default_factory=list)
-    trigger_checks: List[int] = field(default_factory=list)
-    trigger_fires: List[int] = field(default_factory=list)
-    train_micro_f1: List[float] = field(default_factory=list)
-    train_macro_f1: List[float] = field(default_factory=list)
-
-    @property
-    def epochs(self) -> int:
-        return len(self.losses)
-
-    @property
-    def messages(self) -> List[int]:
-        """Total packs per epoch (wide + deep)."""
-        return [w + d for w, d in zip(self.wide_messages, self.deep_messages)]
 
 
 class WidenTrainer:
@@ -96,7 +82,8 @@ class WidenTrainer:
             num_wide=self.config.num_wide,
             num_deep=self.config.num_deep,
             num_deep_walks=self.config.num_deep_walks,
-                wide_sampling=self.config.wide_sampling,
+            wide_sampling=self.config.wide_sampling,
+            sample_seeding=self.config.sample_seeding,
             rng=sample_rng,
         )
         self.optimizer = Adam(
@@ -108,23 +95,22 @@ class WidenTrainer:
         self._epoch = 0
         # Hoisted instruments: one dict lookup at construction, plain
         # attribute access on the per-node hot path.
-        self._wide_entropy = self.registry.histogram(
-            "train_attention_entropy", path="wide"
-        )
-        self._deep_entropy = self.registry.histogram(
-            "train_attention_entropy", path="deep"
-        )
-        self._kl_hist = self.registry.histogram("train_kl_divergence")
-        self._messages_wide_total = self.registry.counter(
-            "train_messages_total", path="wide"
-        )
-        self._messages_deep_total = self.registry.counter(
-            "train_messages_total", path="deep"
-        )
-        # Per-epoch trigger accounting, reset by _run_epoch.
+        self._bind_instruments()
+        # Per-epoch trigger accounting, reset by epoch_begin.
         self._trigger_checks = 0
         self._trigger_fired = 0
         self._kl_values: List[float] = []
+        # Phase state between epoch_begin and epoch_finish.
+        self._schedule: Optional[np.ndarray] = None
+        self._owned_lookup: Optional[np.ndarray] = None
+        self._label_chunks: List[np.ndarray] = []
+        self._prediction_chunks: List[np.ndarray] = []
+        self._acc_loss_sum = 0.0
+        self._acc_nodes = 0
+        self._acc_wide_drops = 0
+        self._acc_deep_drops = 0
+        self._acc_wide_messages = 0
+        self._acc_deep_messages = 0
         # Algorithm 3's current representations v_t ("replace" mode): every
         # processed node's embedding replaces its row, so neighbors read
         # refined embeddings.  In "project" mode neighbors are fresh feature
@@ -135,149 +121,230 @@ class WidenTrainer:
             else None
         )
 
+    def _bind_instruments(self) -> None:
+        self._wide_entropy = self.registry.histogram(
+            "train_attention_entropy", path="wide"
+        )
+        self._deep_entropy = self.registry.histogram(
+            "train_attention_entropy", path="deep"
+        )
+        self._kl_hist = self.registry.histogram("train_kl_divergence")
+
+    def set_registry(self, registry: MetricsRegistry) -> None:
+        """Repoint per-epoch series and hot-path instruments at ``registry``.
+
+        Shard engines rebuild their trainer through ``WidenClassifier.bind``
+        (which constructs it against the process-wide registry) and then
+        attach their private, mergeable registry here so training telemetry
+        flows through the same per-shard snapshot path serving uses.
+        """
+        self.registry = registry
+        self._bind_instruments()
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
 
     def fit(self, train_nodes: np.ndarray, epochs: int) -> TrainHistory:
-        """Run ``epochs`` training epochs over ``train_nodes`` (labeled ids)."""
+        """Run ``epochs`` training epochs over ``train_nodes`` (labeled ids).
+
+        Drives a single-client :class:`~repro.core.train_loop.TrainLoop`
+        over this trainer's phases — the same sequencing code distributed
+        training runs over a shard fleet, taking the exact single-process
+        path through gradient reduction (one contributor → grads untouched).
+        """
         train_nodes = np.asarray(train_nodes, dtype=np.int64)
         labels = self.graph.labels[train_nodes]
         if (labels < 0).any():
             raise ValueError("all training nodes must be labeled")
-        history = self.history
-        registry = self.registry
-        for _ in range(epochs):
-            with trace_span("trainer.epoch", epoch=self._epoch):
-                with Timer() as timer:
-                    loss, stats = self._run_epoch(train_nodes)
-            seconds = timer.laps[-1]
-            epoch = self._epoch
-            history.losses.append(loss)
-            history.epoch_seconds.append(seconds)
-            history.wide_drops.append(stats["wide_drops"])
-            history.deep_drops.append(stats["deep_drops"])
-            history.wide_messages.append(stats["wide_messages"])
-            history.deep_messages.append(stats["deep_messages"])
-            history.trigger_checks.append(stats["trigger_checks"])
-            history.trigger_fires.append(stats["trigger_fires"])
-            history.train_micro_f1.append(stats["micro_f1"])
-            history.train_macro_f1.append(stats["macro_f1"])
-            # Stepped series: the Fig.-4/5-style efficiency story, one point
-            # per epoch, replayable straight out of metrics.jsonl.
-            registry.emit("train/loss", loss, step=epoch)
-            registry.emit("train/epoch_seconds", seconds, step=epoch)
-            registry.emit("train/micro_f1", stats["micro_f1"], step=epoch)
-            registry.emit("train/macro_f1", stats["macro_f1"], step=epoch)
-            registry.emit(
-                "train/messages", stats["wide_messages"], step=epoch, path="wide"
-            )
-            registry.emit(
-                "train/messages", stats["deep_messages"], step=epoch, path="deep"
-            )
-            registry.emit("train/drops", stats["wide_drops"], step=epoch, path="wide")
-            registry.emit("train/drops", stats["deep_drops"], step=epoch, path="deep")
-            registry.emit(
-                "train/kl_trigger_checks", stats["trigger_checks"], step=epoch
-            )
-            registry.emit("train/kl_trigger_fires", stats["trigger_fires"], step=epoch)
-            if stats["kl_mean"] is not None:
-                registry.emit("train/kl_divergence_mean", stats["kl_mean"], step=epoch)
-            self._messages_wide_total.inc(stats["wide_messages"])
-            self._messages_deep_total.inc(stats["deep_messages"])
-            self._epoch += 1
-        return self.history
+        loop = TrainLoop(
+            [LocalTrainClient(self)],
+            self.config,
+            registry=self.registry,
+            history=self.history,
+        )
+        return loop.run(train_nodes, epochs)
 
-    def _run_epoch(self, train_nodes: np.ndarray):
+    # ------------------------------------------------------------------
+    # Training phases (driven by TrainLoop)
+    # ------------------------------------------------------------------
+
+    def epoch_begin(
+        self, train_nodes: np.ndarray, owned: Optional[np.ndarray] = None
+    ) -> dict:
+        """Phase 1: neighbor-state refresh + this epoch's minibatch schedule.
+
+        Consumes the epoch's ``shuffle_rng`` draws (refresh sample and the
+        schedule permutation), so replicas restored from the same checkpoint
+        compute the *same* schedule locally — a distributed microbatch is
+        just a start offset.  ``owned`` (global node ids) restricts which
+        schedule rows this trainer actually computes; the schedule itself is
+        always global so offsets mean the same thing on every shard.
+        """
+        train_nodes = np.asarray(train_nodes, dtype=np.int64)
         self.model.train()
         with trace_span("trainer.refresh_states"):
             self._refresh_states(train_nodes)
         order = self._shuffle_rng.permutation(train_nodes.size)
-        shuffled = train_nodes[order]
-        batch_size = self.config.batch_size
-        total_loss = 0.0
-        total_nodes = 0
-        wide_drops = deep_drops = 0
-        wide_messages = deep_messages = 0
+        self._schedule = train_nodes[order]
+        if owned is None:
+            self._owned_lookup = None
+        else:
+            lookup = np.zeros(self.graph.num_nodes, dtype=bool)
+            lookup[np.asarray(owned, dtype=np.int64)] = True
+            self._owned_lookup = lookup
         self._trigger_checks = 0
         self._trigger_fired = 0
         self._kl_values = []
-        count_wide = self.config.use_wide
-        count_deep = self.config.use_deep
-        wide_entropy = self._wide_entropy
-        deep_entropy = self._deep_entropy
-        predictions = np.empty(shuffled.size, dtype=np.int64)
+        self._label_chunks = []
+        self._prediction_chunks = []
+        self._acc_loss_sum = 0.0
+        self._acc_nodes = 0
+        self._acc_wide_drops = 0
+        self._acc_deep_drops = 0
+        self._acc_wide_messages = 0
+        self._acc_deep_messages = 0
+        return {"epoch": int(self._epoch), "num_nodes": int(self._schedule.size)}
+
+    def run_microbatch(self, start: int) -> dict:
+        """Phase 2: forward/backward over one schedule slice (owned rows).
+
+        Leaves the batch's gradients on the parameters — clipping and the
+        optimizer step happen in :meth:`apply_update` once the loop has
+        reduced gradients across contributors.  Returns the number of rows
+        this trainer actually computed (its reduction weight).
+        """
+        if self._schedule is None:
+            raise RuntimeError("run_microbatch called before epoch_begin")
+        batch = self._schedule[int(start) : int(start) + self.config.batch_size]
+        if self._owned_lookup is not None:
+            batch = batch[self._owned_lookup[batch]]
+        if batch.size == 0:
+            return {"count": 0, "loss_sum": 0.0}
         batched = self.config.forward_mode != "per_node"
-        for start in range(0, shuffled.size, batch_size):
-            batch = shuffled[start : start + batch_size]
-            with trace_span("trainer.batch", size=int(batch.size)):
-                states = [self.store.get(int(node)) for node in batch]
-                if count_wide:
-                    # Every pack in M° (wide set + target) is one message
-                    # through PASS° — the unit of Fig. 4's volume axis.
-                    wide_messages += sum(len(s.wide) + 1 for s in states)
-                if count_deep:
-                    deep_messages += sum(
-                        len(deep) + 1 for s in states for deep in s.deep
+        with trace_span("trainer.batch", size=int(batch.size)):
+            states = [self.store.get(int(node)) for node in batch]
+            if self.config.use_wide:
+                # Every pack in M° (wide set + target) is one message
+                # through PASS° — the unit of Fig. 4's volume axis.
+                self._acc_wide_messages += sum(len(s.wide) + 1 for s in states)
+            if self.config.use_deep:
+                self._acc_deep_messages += sum(
+                    len(deep) + 1 for s in states for deep in s.deep
+                )
+            if batched:
+                stacked, wide_atts, deep_att_lists = self.model.forward_batch(
+                    batch, states, self.graph, self.node_state
+                )
+                if self.node_state is not None:
+                    # Line 8 of Algorithm 3, synchronous minibatch form:
+                    # the outputs replace every v_t of the batch at once.
+                    self.node_state[batch] = stacked.data
+            else:
+                embeddings: List[Tensor] = []
+                wide_atts = []
+                deep_att_lists = []
+                for node, state in zip(batch, states):
+                    embedding, wide_att, deep_atts = self.model(
+                        int(node), state, self.graph, self.node_state
                     )
-                if batched:
-                    stacked, wide_atts, deep_att_lists = self.model.forward_batch(
-                        batch, states, self.graph, self.node_state
-                    )
+                    embeddings.append(embedding)
                     if self.node_state is not None:
-                        # Line 8 of Algorithm 3, synchronous minibatch form:
-                        # the outputs replace every v_t of the batch at once.
-                        self.node_state[batch] = stacked.data
-                else:
-                    embeddings: List[Tensor] = []
-                    wide_atts = []
-                    deep_att_lists = []
-                    for node, state in zip(batch, states):
-                        embedding, wide_att, deep_atts = self.model(
-                            int(node), state, self.graph, self.node_state
-                        )
-                        embeddings.append(embedding)
-                        if self.node_state is not None:
-                            # Line 8 of Algorithm 3: the output replaces v_t.
-                            self.node_state[int(node)] = embedding.data
-                        wide_atts.append(wide_att)
-                        deep_att_lists.append(deep_atts)
-                    stacked = ops.stack(embeddings)
-                for state, wide_att, deep_atts in zip(
-                    states, wide_atts, deep_att_lists
-                ):
-                    if wide_att is not None:
-                        wide_entropy.observe(_entropy(wide_att))
-                    for att in deep_atts:
-                        deep_entropy.observe(_entropy(att))
-                    dropped = self._maybe_downsample(state, wide_att, deep_atts)
-                    wide_drops += dropped[0]
-                    deep_drops += dropped[1]
-                logits = self.model.logits(stacked)
-                loss = F.cross_entropy(logits, self.graph.labels[batch])
-                self.optimizer.zero_grad()
-                loss.backward()
-                if self.config.grad_clip > 0:
-                    clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-                self.optimizer.step()
-                predictions[start : start + batch.size] = logits.data.argmax(axis=1)
-                total_loss += loss.item() * batch.size
-                total_nodes += batch.size
-        labels = self.graph.labels[shuffled]
-        stats = {
-            "wide_drops": wide_drops,
-            "deep_drops": deep_drops,
-            "wide_messages": wide_messages,
-            "deep_messages": deep_messages,
-            "trigger_checks": self._trigger_checks,
-            "trigger_fires": self._trigger_fired,
-            "kl_mean": (
-                float(np.mean(self._kl_values)) if self._kl_values else None
+                        # Line 8 of Algorithm 3: the output replaces v_t.
+                        self.node_state[int(node)] = embedding.data
+                    wide_atts.append(wide_att)
+                    deep_att_lists.append(deep_atts)
+                stacked = ops.stack(embeddings)
+            for state, wide_att, deep_atts in zip(states, wide_atts, deep_att_lists):
+                if wide_att is not None:
+                    self._wide_entropy.observe(_entropy(wide_att))
+                for att in deep_atts:
+                    self._deep_entropy.observe(_entropy(att))
+                dropped = self._maybe_downsample(state, wide_att, deep_atts)
+                self._acc_wide_drops += dropped[0]
+                self._acc_deep_drops += dropped[1]
+            logits = self.model.logits(stacked)
+            loss = F.cross_entropy(logits, self.graph.labels[batch])
+            self.optimizer.zero_grad()
+            loss.backward()
+            loss_sum = loss.item() * batch.size
+            self._label_chunks.append(self.graph.labels[batch])
+            self._prediction_chunks.append(logits.data.argmax(axis=1))
+            self._acc_loss_sum += loss_sum
+            self._acc_nodes += int(batch.size)
+        return {"count": int(batch.size), "loss_sum": float(loss_sum)}
+
+    def export_grads(self) -> List[Optional[np.ndarray]]:
+        """Phase 3a: current gradients, one entry per parameter.
+
+        Entries are live references (``None`` where nothing flowed); the
+        local path hands them straight back through :meth:`apply_update`
+        untouched, the distributed path pickles them across the transport.
+        """
+        return [param.grad for param in self.model.parameters()]
+
+    def apply_update(
+        self,
+        grads: Optional[List[Optional[np.ndarray]]] = None,
+        norm: Optional[float] = None,
+    ) -> None:
+        """Phase 3b: install reduced gradients, clip, and step the optimizer.
+
+        ``norm`` is the globally agreed pre-clip norm — every replica must
+        scale by the same factor or they drift.  Called with ``grads=None``
+        the trainer clips/steps its own backward's gradients (the pre-phase
+        monolith's behavior).  The step runs even when this shard contributed
+        no rows: Adam's bias correction counts steps, so replicas step in
+        lockstep.
+        """
+        if grads is not None:
+            parameters = self.model.parameters()
+            if len(grads) != len(parameters):
+                raise ValueError(
+                    f"got {len(grads)} gradients for {len(parameters)} parameters"
+                )
+            for param, grad in zip(parameters, grads):
+                param.grad = grad
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.model.parameters(), self.config.grad_clip, norm=norm)
+        self.optimizer.step()
+
+    def epoch_finish(self) -> dict:
+        """Phase 4: close the epoch and return its stats payload.
+
+        Labels/predictions come back in schedule order (owned rows only) so
+        the loop can pool confusion-matrix F1 across shards; KL values come
+        back raw for the same reason.  Advances the epoch counter — the KL
+        trigger and refresh schedules key off it.
+        """
+        if self._schedule is None:
+            raise RuntimeError("epoch_finish called before epoch_begin")
+        empty = np.empty(0, dtype=np.int64)
+        payload = {
+            "loss_sum": float(self._acc_loss_sum),
+            "node_count": int(self._acc_nodes),
+            "wide_drops": int(self._acc_wide_drops),
+            "deep_drops": int(self._acc_deep_drops),
+            "wide_messages": int(self._acc_wide_messages),
+            "deep_messages": int(self._acc_deep_messages),
+            "trigger_checks": int(self._trigger_checks),
+            "trigger_fires": int(self._trigger_fired),
+            "kl_values": [float(value) for value in self._kl_values],
+            "labels": (
+                np.concatenate(self._label_chunks) if self._label_chunks else empty
             ),
-            "micro_f1": micro_f1(labels, predictions),
-            "macro_f1": macro_f1(labels, predictions),
+            "predictions": (
+                np.concatenate(self._prediction_chunks)
+                if self._prediction_chunks
+                else empty
+            ),
         }
-        return total_loss / max(total_nodes, 1), stats
+        self._schedule = None
+        self._owned_lookup = None
+        self._label_chunks = []
+        self._prediction_chunks = []
+        self._epoch += 1
+        return payload
 
     def _refresh_states(self, train_nodes: np.ndarray) -> None:
         """Forward-only embedding refresh for a sample of non-training nodes.
@@ -538,7 +605,7 @@ class WidenTrainer:
             num_wide=self.config.num_wide,
             num_deep=self.config.num_deep,
             num_deep_walks=self.config.num_deep_walks,
-                wide_sampling=self.config.wide_sampling,
+            wide_sampling=self.config.wide_sampling,
             rng=new_rng(rng),
         )
         if self.config.embedding_mode != "replace":

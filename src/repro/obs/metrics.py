@@ -90,6 +90,12 @@ DEFAULT_HELP: Dict[str, str] = {
     "serve_queue_wait_seconds": "Queue wait (submit to flush) per computed request.",
     "serve_compute_seconds": "Compute time (flush to completion) per request.",
     "shard_errors_total": "Engine envelopes that became error replies, by kind.",
+    "train_shard_step_seconds": "Per-shard local microbatch compute (forward+backward), per step.",
+    "train_grad_reduce_seconds": "Coordinator gradient gather+weighted-reduce time, per global step.",
+    "train_sync_bytes_total": "Gradient bytes moved per global step (gathered + broadcast).",
+    "train_attention_entropy": "Wide/deep attention entropy observed during training, by path.",
+    "train_kl_divergence": "KL divergence of attention profiles at downsampling checks.",
+    "train_messages_total": "Neighbor messages aggregated during training, by path.",
     "cluster_requests_total": "Scatter-gather requests issued by the router.",
     "fleet_worker_connected": "1 while the shard's socket transport is up, 0 after WorkerDown.",
     "fleet_workers_connected": "Socket workers currently connected, fleet-wide.",

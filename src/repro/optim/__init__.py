@@ -1,6 +1,20 @@
 """Gradient-descent optimizers and learning-rate schedulers."""
 
-from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from repro.optim.optimizers import (
+    SGD,
+    Adam,
+    Optimizer,
+    clip_grad_norm,
+    global_grad_norm,
+)
 from repro.optim.schedulers import StepLR, CosineLR
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "StepLR",
+    "CosineLR",
+]

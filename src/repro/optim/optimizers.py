@@ -7,7 +7,7 @@ term so models do not need to add it to their losses.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -169,13 +169,41 @@ class Adam(Optimizer):
         self._step_count = int(state.get("step_count", 0))
 
 
-def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+def global_grad_norm(grads: Iterable[Optional[np.ndarray]]) -> float:
+    """Global L2 norm over a list of gradient arrays (``None`` entries skip).
+
+    This is the exact summation :func:`clip_grad_norm` performs internally —
+    same per-array ``(g**2).sum()``, same Python-float accumulation order —
+    so a norm computed here over gathered (and reduced) per-shard gradients
+    and passed back as ``clip_grad_norm(..., norm=...)`` clips every replica
+    bit-identically to a single process clipping the same gradients itself.
+    """
+    return float(
+        np.sqrt(sum(float((g**2).sum()) for g in grads if g is not None))
+    )
+
+
+def clip_grad_norm(
+    parameters: Iterable[Parameter],
+    max_norm: float,
+    *,
+    norm: Optional[float] = None,
+) -> float:
     """Scale gradients in place so their global L2 norm is <= ``max_norm``.
 
     Returns the pre-clipping norm (useful for logging divergence).
+
+    ``norm`` supplies a precomputed global norm instead of measuring the
+    local gradients — the distributed-training hook: each shard holds the
+    same reduced gradients, but the *clip decision and scale* must come from
+    one globally agreed number, or replicas would drift whenever their local
+    float summation order differed.
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if norm is None:
+        total = global_grad_norm(p.grad for p in parameters)
+    else:
+        total = float(norm)
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in parameters:

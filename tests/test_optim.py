@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn import Linear, Parameter
-from repro.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+from repro.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm, global_grad_norm
 from repro.tensor import Tensor
 from repro.tensor import functional as F
 
@@ -129,6 +129,58 @@ class TestClipGradNorm:
     def test_ignores_none_grads(self):
         p = Parameter(np.zeros(2))
         assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_global_norm_multi_tensor(self):
+        """global_grad_norm must match clip_grad_norm's internal summation
+        bit-for-bit on a multi-tensor gradient list — this equality is what
+        lets the distributed coordinator compute one norm and ship it."""
+        rng = np.random.default_rng(7)
+        grads = [rng.normal(size=(4, 3)), rng.normal(size=(7,)), None,
+                 rng.normal(size=(2, 2, 2))]
+        expected = float(np.sqrt(sum(float((g ** 2).sum())
+                                     for g in grads if g is not None)))
+        assert global_grad_norm(grads) == expected
+
+        params = []
+        for g in grads:
+            p = Parameter(np.zeros_like(g) if g is not None else np.zeros(1))
+            p.grad = None if g is None else g.copy()
+            params.append(p)
+        assert clip_grad_norm(params, max_norm=1e9) == global_grad_norm(grads)
+
+    def test_precomputed_norm_matches_local(self):
+        """clip_grad_norm(norm=...) scales exactly as the self-computed
+        path: same returned total, same clipped gradients."""
+        rng = np.random.default_rng(11)
+        grads = [rng.normal(size=(5, 2)) * 10, rng.normal(size=(3,)) * 10]
+
+        def make_params():
+            out = []
+            for g in grads:
+                p = Parameter(np.zeros_like(g))
+                p.grad = g.copy()
+                out.append(p)
+            return out
+
+        local = make_params()
+        remote = make_params()
+        norm_local = clip_grad_norm(local, max_norm=1.0)
+        norm_remote = clip_grad_norm(
+            remote, max_norm=1.0, norm=global_grad_norm(grads)
+        )
+        assert norm_remote == norm_local
+        for a, b in zip(local, remote):
+            np.testing.assert_array_equal(a.grad, b.grad)
+
+    def test_precomputed_norm_below_threshold_no_clip(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        returned = clip_grad_norm([p], max_norm=1.0, norm=0.5)
+        assert returned == pytest.approx(0.5)
+        np.testing.assert_array_equal(p.grad, [0.3, 0.4])
+
+    def test_global_norm_all_none(self):
+        assert global_grad_norm([None, None]) == 0.0
 
 
 class TestSchedulers:
